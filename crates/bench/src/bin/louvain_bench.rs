@@ -1,0 +1,78 @@
+//! `louvain-bench` — regenerates every table and figure of the paper.
+//!
+//! Usage: `louvain-bench <experiment> [--quick]`
+//!
+//! Experiments: table1, fig2, fig4, fig5, table3, fig6, fig7, fig8,
+//! table4, fig9, ablate-epsilon, ablate-coalesce, all.
+
+use louvain_bench::experiments as exp;
+use std::time::Instant;
+
+const USAGE: &str = "usage: louvain-bench <experiment> [--quick]
+experiments:
+  table1           graph inventory (Table I)
+  fig2             heuristic regression on LFR traces (Figure 2)
+  fig4             convergence & quality curves (Figure 4)
+  fig5             community size distributions (Figure 5)
+  table3           similarity metrics vs sequential (Table III)
+  fig6             hash behavior analysis (Figure 6)
+  fig7             speedup (Figure 7)
+  fig8             time breakdown (Figure 8)
+  table4           UK-2007 vs literature (Table IV)
+  fig9             weak/strong scaling TEPS (Figure 9)
+  ablate-epsilon   eps-schedule sweep (DESIGN.md ablation)
+  ablate-coalesce  coalescing-capacity sweep (DESIGN.md ablation)
+  ablate-order     sequential vertex-order sweep (Section V-B)
+  ablate-refine    solver pipelines incl. refinement polish
+  baseline-lp      label-propagation baseline vs Louvain (Related Work)
+  all              everything above, in order";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let which = args.iter().find(|a| !a.starts_with('-')).cloned();
+    let Some(which) = which else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+
+    let t0 = Instant::now();
+    let run_one = |name: &str| {
+        let t = Instant::now();
+        println!("\n######## {name} {}", if quick { "(--quick)" } else { "" });
+        match name {
+            "table1" => exp::table1::run(quick),
+            "fig2" => exp::fig2::run(quick),
+            "fig4" => exp::fig4::run(quick),
+            "fig5" => exp::fig5::run(quick),
+            "table3" => exp::table3::run(quick),
+            "fig6" => exp::fig6::run(quick),
+            "fig7" => exp::fig7::run(quick),
+            "fig8" => exp::fig8::run(quick),
+            "table4" => exp::table4::run(quick),
+            "fig9" => exp::fig9::run(quick),
+            "ablate-epsilon" => exp::ablate::epsilon(quick),
+            "ablate-coalesce" => exp::ablate::coalesce(quick),
+            "ablate-order" => exp::ablate::order(quick),
+            "ablate-refine" => exp::ablate::refine(quick),
+            "baseline-lp" => exp::ablate::baseline_lp(quick),
+            other => {
+                eprintln!("unknown experiment {other:?}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        println!("[{name} done in {:.1} s]", t.elapsed().as_secs_f64());
+    };
+
+    if which == "all" {
+        for name in [
+            "table1", "fig2", "fig4", "fig5", "table3", "fig6", "fig7", "fig8", "table4",
+            "fig9", "ablate-epsilon", "ablate-coalesce", "ablate-order", "ablate-refine", "baseline-lp",
+        ] {
+            run_one(name);
+        }
+    } else {
+        run_one(&which);
+    }
+    println!("\ntotal: {:.1} s", t0.elapsed().as_secs_f64());
+}

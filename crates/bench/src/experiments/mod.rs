@@ -1,0 +1,53 @@
+//! One module per table/figure of the paper's evaluation.
+
+pub mod ablate;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+
+use louvain_core::parallel::{ParallelConfig, ParallelLouvain, ParallelResult};
+use louvain_core::seq::{SeqConfig, SequentialLouvain};
+use louvain_graph::edgelist::EdgeList;
+use louvain_graph::registry::{by_name, GeneratedGraph};
+
+/// Loads a registry stand-in by name (panics on unknown names — the CLI
+/// validates earlier).
+#[must_use]
+pub fn workload(name: &str, seed: u64) -> GeneratedGraph {
+    by_name(name)
+        .unwrap_or_else(|| panic!("unknown workload {name}"))
+        .generate(seed)
+}
+
+/// Runs the sequential baseline with default configuration.
+#[must_use]
+pub fn run_seq(edges: &EdgeList) -> louvain_core::result::LouvainResult {
+    SequentialLouvain::new(SeqConfig::default()).run(&edges.to_csr())
+}
+
+/// Runs the distributed solver on `ranks` ranks with default heuristic.
+#[must_use]
+pub fn run_par(edges: &EdgeList, ranks: usize) -> ParallelResult {
+    ParallelLouvain::new(ParallelConfig::with_ranks(ranks)).run(edges)
+}
+
+/// Runs the distributed solver without the convergence heuristic — the
+/// "parallel without heuristic" strawman of Figure 4 (iteration-capped so
+/// the oscillation terminates).
+#[must_use]
+pub fn run_par_naive(edges: &EdgeList, ranks: usize) -> ParallelResult {
+    ParallelLouvain::new(ParallelConfig {
+        use_heuristic: false,
+        max_inner_iterations: 12,
+        max_levels: 6,
+        ..ParallelConfig::with_ranks(ranks)
+    })
+    .run(edges)
+}

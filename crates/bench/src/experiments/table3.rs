@@ -1,0 +1,61 @@
+//! Table III — quality comparison of the parallel vs sequential
+//! community structure.
+//!
+//! Six similarity metrics between the partitions found by the two
+//! algorithms on Amazon, ND-Web and LFR (μ=0.4, μ=0.5). The paper's
+//! values are printed alongside for comparison; the shape to reproduce is
+//! NMI/F-measure/RI close to 1 and NVD close to 0.
+
+use crate::experiments::{run_par, run_seq, workload};
+use crate::report::{f, Csv, Table};
+use crate::SEED;
+use louvain_graph::gen::lfr::{generate_lfr, LfrConfig};
+use louvain_metrics::similarity::SimilarityReport;
+
+/// Paper's Table III rows, for side-by-side printing.
+const PAPER: [(&str, [f64; 6]); 4] = [
+    ("amazon", [0.9734, 0.8159, 0.1461, 0.9989, 0.6775, 0.5123]),
+    ("ndweb", [0.9848, 0.9270, 0.0510, 0.9998, 0.9219, 0.8552]),
+    ("lfr-mu0.4", [0.9903, 0.9452, 0.0404, 0.9999, 0.9415, 0.8895]),
+    ("lfr-mu0.5", [0.9833, 0.9058, 0.0683, 0.9999, 0.9034, 0.8239]),
+];
+
+/// Runs the experiment.
+pub fn run(_quick: bool) {
+    let mut t = Table::new(&[
+        "graph", "source", "NMI", "F-measure", "NVD", "RI", "ARI", "JI",
+    ]);
+    for (name, paper_vals) in PAPER {
+        let edges = match name {
+            "lfr-mu0.4" => generate_lfr(&LfrConfig::standard(20_000, 0.4), SEED).edges,
+            "lfr-mu0.5" => generate_lfr(&LfrConfig::standard(20_000, 0.5), SEED).edges,
+            other => workload(other, SEED).edges,
+        };
+        let seq = run_seq(&edges);
+        let par = run_par(&edges, 4);
+        let r = SimilarityReport::compute(&seq.final_partition, &par.result.final_partition);
+        t.row(&[
+            name.to_string(),
+            "measured".to_string(),
+            f(r.nmi, 4),
+            f(r.f_measure, 4),
+            f(r.nvd, 4),
+            f(r.rand, 4),
+            f(r.adjusted_rand, 4),
+            f(r.jaccard, 4),
+        ]);
+        t.row(&[
+            name.to_string(),
+            "paper".to_string(),
+            f(paper_vals[0], 4),
+            f(paper_vals[1], 4),
+            f(paper_vals[2], 4),
+            f(paper_vals[3], 4),
+            f(paper_vals[4], 4),
+            f(paper_vals[5], 4),
+        ]);
+    }
+    t.print("Table III: parallel vs sequential community structure");
+    Csv::write("table3", &t);
+    println!("(shape to match: NVD near 0, everything else near 1, NMI highest)");
+}

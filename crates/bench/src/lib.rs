@@ -1,0 +1,33 @@
+//! Experiment harness for the IPDPS'15 reproduction.
+//!
+//! One module per table/figure of the paper's evaluation (Section V);
+//! the `louvain-bench` binary dispatches to them. Every experiment
+//! prints a human-readable table to stdout and writes a CSV next to it
+//! under `results/`.
+//!
+//! | Subcommand | Paper content |
+//! |---|---|
+//! | `table1` | Table I — graph inventory (stand-ins + realized stats) |
+//! | `fig2` | Figure 2 — ε-heuristic regression on LFR migration traces |
+//! | `fig4` | Figure 4 — modularity & evolution ratio per outer iteration |
+//! | `fig5` | Figure 5 — community-size distributions |
+//! | `table3` | Table III — NMI/F-measure/NVD/RI/ARI/JI vs sequential |
+//! | `fig6` | Figure 6 — hash load balance & load-factor sweep |
+//! | `fig7` | Figure 7 — speedup (BSP-simulated) |
+//! | `fig8` | Figure 8 — time breakdown (outer & inner loops) |
+//! | `table4` | Table IV — UK-2007 time/modularity vs literature |
+//! | `fig9` | Figure 9 — weak & strong scaling TEPS |
+//! | `ablate-epsilon` | ε-schedule parameter sweep (design ablation) |
+//! | `ablate-coalesce` | coalescing-capacity sweep (design ablation) |
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{Csv, Table};
+
+/// Default seed for every experiment (deterministic harness).
+pub const SEED: u64 = 0x10_DDAD;
+
+/// Calibration constant for the BSP cost model: nanoseconds per work
+/// unit (≈ handling cost of one fine-grained message). See DESIGN.md §2.
+pub const NS_PER_UNIT: f64 = 20.0;

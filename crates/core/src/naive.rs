@@ -1,0 +1,278 @@
+//! The naive synchronous parallel Louvain — *without* the convergence
+//! heuristic.
+//!
+//! Every inner iteration, all vertices compute their best move against a
+//! *stale snapshot* of community state and then all positive-gain moves
+//! are applied simultaneously. This is the strawman of Section III and the
+//! "Parallel without Heuristic" curve of Figure 4: because pairs (or
+//! rings) of vertices often agree to swap into each other's communities,
+//! the configuration oscillates, modularity stays low, and the inner loop
+//! only terminates by hitting its iteration cap.
+//!
+//! Vertices are processed with rayon (the shared-memory per-node level of
+//! parallelism in the paper's implementation).
+
+use crate::coarsen::induced_edge_list;
+use crate::dq::insert_gain_scaled;
+use crate::result::{LevelInfo, LouvainResult};
+use louvain_graph::csr::CsrGraph;
+use louvain_metrics::{modularity, Partition};
+use rayon::prelude::*;
+
+/// Naive synchronous solver configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NaiveConfig {
+    /// Inner iterations per level (the cap that forces termination in the
+    /// presence of oscillation).
+    pub max_inner_iterations: usize,
+    /// Maximum hierarchy levels.
+    pub max_levels: usize,
+    /// Outer loop stops when a level improves modularity by less than
+    /// this.
+    pub min_level_improvement: f64,
+}
+
+impl Default for NaiveConfig {
+    fn default() -> Self {
+        Self {
+            max_inner_iterations: 16,
+            max_levels: 8,
+            min_level_improvement: 1e-7,
+        }
+    }
+}
+
+/// The naive synchronous parallel solver.
+#[derive(Clone, Debug, Default)]
+pub struct NaiveParallelLouvain {
+    cfg: NaiveConfig,
+}
+
+impl NaiveParallelLouvain {
+    /// Creates a solver with the given configuration.
+    #[must_use]
+    pub fn new(cfg: NaiveConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Runs the hierarchical naive synchronous algorithm on `g`.
+    #[must_use]
+    pub fn run(&self, g: &CsrGraph) -> LouvainResult {
+        let n = g.num_vertices();
+        let mut current = g.clone();
+        let mut orig_labels: Vec<u32> = (0..n as u32).collect();
+        let mut levels = Vec::new();
+        let mut level_partitions = Vec::new();
+        let mut q_prev = modularity(g, &Partition::singletons(n));
+
+        for _ in 0..self.cfg.max_levels {
+            let (labels, k, iterations, fractions, moved) = self.one_level_sync(&current);
+            if !moved {
+                break;
+            }
+            for l in orig_labels.iter_mut() {
+                *l = labels[*l as usize];
+            }
+            let partition = Partition::from_labels(&labels);
+            let q_after = modularity(&current, &partition);
+            levels.push(LevelInfo {
+                num_vertices: current.num_vertices(),
+                num_communities: k,
+                modularity: q_after,
+                inner_iterations: iterations,
+                move_fractions: fractions,
+                q_trace: Vec::new(),
+            });
+            level_partitions.push(Partition::from_labels(&orig_labels));
+            let improved = q_after - q_prev > self.cfg.min_level_improvement;
+            q_prev = q_after;
+            if !improved || k == current.num_vertices() {
+                break;
+            }
+            current = induced_edge_list(&current, &labels, k).to_csr();
+        }
+
+        let final_partition = level_partitions
+            .last()
+            .cloned()
+            .unwrap_or_else(|| Partition::singletons(n));
+        LouvainResult {
+            final_modularity: if levels.is_empty() {
+                q_prev
+            } else {
+                levels.last().unwrap().modularity
+            },
+            levels,
+            level_partitions,
+            final_partition,
+        }
+    }
+
+    /// One synchronous level. Returns (dense labels, #communities,
+    /// iterations, move fractions, any-move-happened).
+    fn one_level_sync(&self, g: &CsrGraph) -> (Vec<u32>, usize, usize, Vec<f64>, bool) {
+        let n = g.num_vertices();
+        let s = g.total_arc_weight();
+        let mut labels: Vec<u32> = (0..n as u32).collect();
+        let mut fractions = Vec::new();
+        let mut iterations = 0usize;
+        let mut any = false;
+        if n == 0 || s <= 0.0 {
+            return (labels, n, 0, fractions, false);
+        }
+        // tot per community (community ids = vertex ids at this level).
+        let mut tot: Vec<f64> = g.degrees().to_vec();
+
+        for _ in 0..self.cfg.max_inner_iterations {
+            iterations += 1;
+            let labels_snap = &labels;
+            let tot_snap = &tot;
+            // Every vertex proposes its best move from the stale snapshot.
+            let proposals: Vec<u32> = (0..n as u32)
+                .into_par_iter()
+                .map(|u| {
+                    let k_u = g.degree(u);
+                    let c_old = labels_snap[u as usize];
+                    // Local accumulation of w_{u→c} over neighbor comms.
+                    let mut comms: Vec<(u32, f64)> = Vec::with_capacity(8);
+                    for (v, w) in g.neighbors(u) {
+                        if v == u {
+                            continue;
+                        }
+                        let c = labels_snap[v as usize];
+                        match comms.iter_mut().find(|e| e.0 == c) {
+                            Some(e) => e.1 += w,
+                            None => comms.push((c, w)),
+                        }
+                    }
+                    let w_old = comms
+                        .iter()
+                        .find(|e| e.0 == c_old)
+                        .map_or(0.0, |e| e.1);
+                    // Stay gain: reinsertion into c_old with u removed.
+                    let mut best_c = c_old;
+                    let mut best =
+                        insert_gain_scaled(w_old, k_u, tot_snap[c_old as usize] - k_u, s);
+                    for &(c, w) in &comms {
+                        if c == c_old {
+                            continue;
+                        }
+                        let gain = insert_gain_scaled(w, k_u, tot_snap[c as usize], s);
+                        if gain > best {
+                            best = gain;
+                            best_c = c;
+                        }
+                    }
+                    best_c
+                })
+                .collect();
+            // Apply all moves simultaneously.
+            let moves = proposals
+                .iter()
+                .zip(labels.iter())
+                .filter(|(a, b)| a != b)
+                .count();
+            labels = proposals;
+            // Recompute community totals from scratch.
+            tot.iter_mut().for_each(|t| *t = 0.0);
+            for u in 0..n as u32 {
+                tot[labels[u as usize] as usize] += g.degree(u);
+            }
+            fractions.push(moves as f64 / n as f64);
+            if moves > 0 {
+                any = true;
+            } else {
+                break;
+            }
+        }
+        let partition = Partition::from_labels(&labels);
+        (
+            partition.labels().to_vec(),
+            partition.num_communities(),
+            iterations,
+            fractions,
+            any,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::{SeqConfig, SequentialLouvain};
+    use louvain_graph::edgelist::EdgeListBuilder;
+    use louvain_graph::gen::planted::{generate_planted, PlantedConfig};
+
+    #[test]
+    fn oscillates_on_a_symmetric_pair() {
+        // Two vertices joined by an edge: both propose to join the other's
+        // community simultaneously and swap forever. The naive algorithm
+        // only stops because of the iteration cap, and the "partition" it
+        // produces is no better than where it started. This is exactly the
+        // pathology of Section III.
+        let mut b = EdgeListBuilder::new(2);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build_csr();
+        let r = NaiveParallelLouvain::new(NaiveConfig {
+            max_inner_iterations: 9, // odd: end mid-swap
+            max_levels: 1,
+            min_level_improvement: 1e-9,
+        })
+        .run(&g);
+        // It burned all iterations without converging.
+        assert_eq!(r.levels[0].inner_iterations, 9);
+        assert!(r.levels[0].move_fractions.iter().all(|&f| f == 1.0));
+    }
+
+    #[test]
+    fn worse_than_sequential_on_mixed_community_graphs() {
+        // On LFR with substantial mixing (μ=0.5) the chaotic synchronous
+        // motion costs real modularity and the inner loop never converges
+        // — the Figure 4a pathology.
+        use louvain_graph::gen::lfr::{generate_lfr, LfrConfig};
+        let g = generate_lfr(&LfrConfig::standard(3000, 0.5), 7)
+            .edges
+            .to_csr();
+        let q_seq = SequentialLouvain::new(SeqConfig::default())
+            .run(&g)
+            .final_modularity;
+        let naive = NaiveParallelLouvain::new(NaiveConfig::default()).run(&g);
+        assert!(
+            naive.final_modularity < q_seq - 0.02,
+            "naive {} vs sequential {q_seq}",
+            naive.final_modularity
+        );
+        // Evidence of oscillation: the first level burned its whole
+        // iteration budget and move fractions barely decay.
+        let lvl0 = &naive.levels[0];
+        assert_eq!(lvl0.inner_iterations, NaiveConfig::default().max_inner_iterations);
+        assert!(lvl0.move_fractions[4] > 0.3, "{:?}", lvl0.move_fractions);
+    }
+
+    #[test]
+    fn still_beats_singletons_eventually() {
+        // Even oscillating, some vertices merge; Q should exceed the
+        // (negative) singleton modularity.
+        let (el, _) = generate_planted(
+            &PlantedConfig {
+                communities: 4,
+                community_size: 25,
+                p_in: 0.4,
+                p_out: 0.02,
+            },
+            22,
+        );
+        let g = el.to_csr();
+        let r = NaiveParallelLouvain::new(NaiveConfig::default()).run(&g);
+        let q0 = modularity(&g, &Partition::singletons(g.num_vertices()));
+        assert!(r.final_modularity > q0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = EdgeListBuilder::new(5).build_csr();
+        let r = NaiveParallelLouvain::new(NaiveConfig::default()).run(&g);
+        assert_eq!(r.num_levels(), 0);
+        assert_eq!(r.final_partition.num_communities(), 5);
+    }
+}

@@ -1,0 +1,74 @@
+//! Hierarchy result types shared by every solver.
+
+use louvain_metrics::Partition;
+
+/// Summary of one hierarchy level (one outer-loop iteration).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LevelInfo {
+    /// Vertices at this level (communities of the previous level).
+    pub num_vertices: usize,
+    /// Communities found at this level.
+    pub num_communities: usize,
+    /// Modularity after this level's refinement (measured on this level's
+    /// graph, which equals modularity of the projected partition on the
+    /// original graph).
+    pub modularity: f64,
+    /// Inner-loop iterations executed.
+    pub inner_iterations: usize,
+    /// Fraction of vertices that moved in each inner iteration — the
+    /// Figure 2 trace.
+    pub move_fractions: Vec<f64>,
+    /// Modularity after each inner iteration, where the solver computes
+    /// it anyway (the distributed and SMP solvers; empty for solvers that
+    /// only evaluate Q per level).
+    pub q_trace: Vec<f64>,
+}
+
+impl LevelInfo {
+    /// Evolution ratio of this level (Figure 4b):
+    /// communities / vertices.
+    #[must_use]
+    pub fn evolution_ratio(&self) -> f64 {
+        louvain_metrics::evolution_ratio(self.num_communities, self.num_vertices)
+    }
+}
+
+/// Output of a full hierarchical Louvain run.
+#[derive(Clone, Debug)]
+pub struct LouvainResult {
+    /// Per-level summaries, coarsest last.
+    pub levels: Vec<LevelInfo>,
+    /// Partition of the *original* vertices after each level.
+    pub level_partitions: Vec<Partition>,
+    /// Final partition of the original vertices (same as the last entry of
+    /// `level_partitions`).
+    pub final_partition: Partition,
+    /// Final modularity.
+    pub final_modularity: f64,
+}
+
+impl LouvainResult {
+    /// Number of hierarchy levels.
+    #[must_use]
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evolution_ratio_from_level() {
+        let l = LevelInfo {
+            num_vertices: 100,
+            num_communities: 20,
+            modularity: 0.5,
+            inner_iterations: 3,
+            move_fractions: vec![0.9, 0.2, 0.0],
+            q_trace: vec![0.3, 0.45, 0.5],
+        };
+        assert_eq!(l.evolution_ratio(), 0.2);
+    }
+}

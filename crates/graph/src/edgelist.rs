@@ -1,0 +1,188 @@
+//! Weighted undirected edge lists.
+//!
+//! The edge list is the interchange format between generators, loaders, the
+//! CSR builder and the distributed In-Table loader. Edges are undirected:
+//! `(u, v, w)` and `(v, u, w)` denote the same edge, and duplicates are
+//! merged by *summing* weights (matching the insert-or-accumulate semantics
+//! of the paper's hash tables).
+
+use crate::{VertexId, Weight};
+
+/// A single undirected weighted edge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Edge {
+    /// One endpoint.
+    pub u: VertexId,
+    /// The other endpoint (`u == v` is a self-loop).
+    pub v: VertexId,
+    /// Weight (must be finite; generators produce `1.0`).
+    pub w: Weight,
+}
+
+/// An immutable, deduplicated, undirected weighted edge list over vertices
+/// `0..n`.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeList {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl EdgeList {
+    /// Number of vertices.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct undirected edges (self-loops count once).
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The edges, each undirected pair appearing exactly once with
+    /// `u <= v`.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Sum of edge weights `m` (self-loops counted once).
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.w).sum()
+    }
+
+    /// Builds the CSR adjacency for this edge list.
+    #[must_use]
+    pub fn to_csr(&self) -> crate::csr::CsrGraph {
+        crate::csr::CsrGraph::from_edge_list(self)
+    }
+}
+
+/// Accumulating builder for [`EdgeList`].
+///
+/// `add_edge` may be called with duplicates and either endpoint order;
+/// `build` canonicalizes to `u <= v`, merges duplicates by summing weights,
+/// and sorts.
+#[derive(Clone, Debug)]
+pub struct EdgeListBuilder {
+    n: usize,
+    raw: Vec<Edge>,
+}
+
+impl EdgeListBuilder {
+    /// Creates a builder for a graph with `n` vertices.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n <= VertexId::MAX as usize,
+            "vertex count {n} exceeds u32 id space"
+        );
+        Self { n, raw: Vec::new() }
+    }
+
+    /// Creates a builder expecting roughly `m` edges.
+    #[must_use]
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut b = Self::new(n);
+        b.raw.reserve(m);
+        b
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of raw (pre-dedup) edges added so far.
+    #[must_use]
+    pub fn raw_len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Adds an undirected edge. Panics (debug) on out-of-range endpoints or
+    /// non-finite weight.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, w: Weight) {
+        debug_assert!((u as usize) < self.n, "endpoint {u} out of range");
+        debug_assert!((v as usize) < self.n, "endpoint {v} out of range");
+        debug_assert!(w.is_finite(), "edge weight must be finite");
+        let (u, v) = if u <= v { (u, v) } else { (v, u) };
+        self.raw.push(Edge { u, v, w });
+    }
+
+    /// Canonicalizes, deduplicates (summing weights) and returns the edge
+    /// list.
+    #[must_use]
+    pub fn build(mut self) -> EdgeList {
+        // Sort by packed key; merge runs.
+        self.raw
+            .sort_unstable_by_key(|e| ((e.u as u64) << 32) | e.v as u64);
+        let mut edges: Vec<Edge> = Vec::with_capacity(self.raw.len());
+        for e in self.raw {
+            match edges.last_mut() {
+                Some(last) if last.u == e.u && last.v == e.v => last.w += e.w,
+                _ => edges.push(e),
+            }
+        }
+        EdgeList { n: self.n, edges }
+    }
+
+    /// Convenience: build the edge list and immediately convert to CSR.
+    #[must_use]
+    pub fn build_csr(self) -> crate::csr::CsrGraph {
+        self.build().to_csr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_merges_weights_across_orientations() {
+        let mut b = EdgeListBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 0, 2.0);
+        b.add_edge(2, 1, 4.0);
+        let el = b.build();
+        assert_eq!(el.num_edges(), 2);
+        assert_eq!(el.edges()[0], Edge { u: 0, v: 1, w: 3.0 });
+        assert_eq!(el.edges()[1], Edge { u: 1, v: 2, w: 4.0 });
+        assert_eq!(el.total_weight(), 7.0);
+    }
+
+    #[test]
+    fn self_loops_kept_once() {
+        let mut b = EdgeListBuilder::new(2);
+        b.add_edge(1, 1, 5.0);
+        b.add_edge(1, 1, 1.0);
+        let el = b.build();
+        assert_eq!(el.num_edges(), 1);
+        assert_eq!(el.edges()[0], Edge { u: 1, v: 1, w: 6.0 });
+    }
+
+    #[test]
+    fn empty_graph() {
+        let el = EdgeListBuilder::new(0).build();
+        assert_eq!(el.num_vertices(), 0);
+        assert_eq!(el.num_edges(), 0);
+        assert_eq!(el.total_weight(), 0.0);
+    }
+
+    #[test]
+    fn edges_sorted_canonically() {
+        let mut b = EdgeListBuilder::new(5);
+        b.add_edge(4, 3, 1.0);
+        b.add_edge(0, 2, 1.0);
+        b.add_edge(2, 0, 1.0); // dup of previous
+        b.add_edge(1, 4, 1.0);
+        let el = b.build();
+        let pairs: Vec<(u32, u32)> = el.edges().iter().map(|e| (e.u, e.v)).collect();
+        assert_eq!(pairs, vec![(0, 2), (1, 4), (3, 4)]);
+        for e in el.edges() {
+            assert!(e.u <= e.v);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Erdős–Rényi random graphs.
+
+use crate::edgelist::{EdgeList, EdgeListBuilder};
+use crate::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `G(n, m)`: exactly `m` distinct undirected edges (no
+/// self-loops) chosen uniformly, all with weight 1.
+///
+/// Panics if `m` exceeds the number of possible edges.
+#[must_use]
+pub fn generate_gnm(n: usize, m: usize, seed: u64) -> EdgeList {
+    let possible = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= possible, "G(n={n}, m={m}) infeasible (max {possible})");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut b = EdgeListBuilder::with_capacity(n, m);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n) as VertexId;
+        let v = rng.gen_range(0..n) as VertexId;
+        if u == v {
+            continue;
+        }
+        let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+        let key = ((lo as u64) << 32) | hi as u64;
+        if seen.insert(key) {
+            b.add_edge(lo, hi, 1.0);
+        }
+    }
+    b.build()
+}
+
+/// Generates `G(n, p)` with the skipping method (O(n²p) expected work):
+/// every pair independently present with probability `p`, weight 1.
+#[must_use]
+pub fn generate_gnp(n: usize, p: f64, seed: u64) -> EdgeList {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = EdgeListBuilder::new(n);
+    if p <= 0.0 || n < 2 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n as VertexId {
+            for v in (u + 1)..n as VertexId {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+        return b.build();
+    }
+    // Batagelj–Brandes geometric skipping over the upper-triangular pairs.
+    let lq = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n_i = n as i64;
+    while v < n_i {
+        let r: f64 = rng.gen::<f64>();
+        w += 1 + ((1.0 - r).ln() / lq).floor() as i64;
+        while w >= v && v < n_i {
+            w -= v;
+            v += 1;
+        }
+        if v < n_i {
+            b.add_edge(w as VertexId, v as VertexId, 1.0);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let g = generate_gnm(100, 500, 42);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 500);
+        for e in g.edges() {
+            assert_ne!(e.u, e.v, "no self loops");
+            assert!((e.u as usize) < 100 && (e.v as usize) < 100);
+        }
+    }
+
+    #[test]
+    fn gnm_deterministic_under_seed() {
+        let a = generate_gnm(50, 100, 7);
+        let b = generate_gnm(50, 100, 7);
+        assert_eq!(a.edges().len(), b.edges().len());
+        for (x, y) in a.edges().iter().zip(b.edges()) {
+            assert_eq!((x.u, x.v), (y.u, y.v));
+        }
+        let c = generate_gnm(50, 100, 8);
+        let same = a
+            .edges()
+            .iter()
+            .zip(c.edges())
+            .all(|(x, y)| (x.u, x.v) == (y.u, y.v));
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn gnm_complete_graph() {
+        let g = generate_gnm(10, 45, 1);
+        assert_eq!(g.num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let (n, p) = (500usize, 0.05);
+        let g = generate_gnp(n, p, 9);
+        let expect = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expect).abs() < 4.0 * expect.sqrt() + 10.0,
+            "got {got}, expected ~{expect}"
+        );
+        for e in g.edges() {
+            assert_ne!(e.u, e.v);
+        }
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(generate_gnp(100, 0.0, 1).num_edges(), 0);
+        assert_eq!(generate_gnp(10, 1.0, 1).num_edges(), 45);
+        assert_eq!(generate_gnp(1, 0.5, 1).num_edges(), 0);
+        assert_eq!(generate_gnp(0, 0.5, 1).num_vertices(), 0);
+    }
+}

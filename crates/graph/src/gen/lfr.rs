@@ -1,0 +1,378 @@
+//! The LFR benchmark (Lancichinetti–Fortunato–Radicchi).
+//!
+//! LFR generates graphs with built-in community structure: power-law vertex
+//! degrees (exponent γ), power-law community sizes (exponent β) and a
+//! mixing parameter μ — the fraction of each vertex's edges that leave its
+//! community. The paper uses LFR to trace the migration behaviour of the
+//! sequential algorithm and fit the convergence heuristic (Figure 2,
+//! Section IV-B), and for the quality comparison with μ ∈ {0.4, 0.5}
+//! (Table III).
+//!
+//! This is a stub-matching implementation: internal stubs are paired within
+//! each community by a configuration model, external stubs are paired
+//! globally with rejection of intra-community pairs. Degrees and μ are
+//! matched approximately (a few percent slack on dense corners), which is
+//! all the downstream experiments require; tests assert the realized μ is
+//! within tolerance.
+
+use crate::edgelist::{EdgeList, EdgeListBuilder};
+use crate::gen::powerlaw;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// LFR configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LfrConfig {
+    /// Number of vertices.
+    pub n: usize,
+    /// Target average degree `k`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Degree power-law exponent γ (typically 2–3).
+    pub gamma: f64,
+    /// Community-size power-law exponent β (typically 1–2).
+    pub beta: f64,
+    /// Mixing parameter μ: fraction of each vertex's edges that are
+    /// inter-community.
+    pub mu: f64,
+    /// Minimum community size.
+    pub min_community: usize,
+    /// Maximum community size.
+    pub max_community: usize,
+}
+
+impl LfrConfig {
+    /// A reasonable default mirroring the paper's small LFR runs, scaled to
+    /// `n` vertices with mixing `mu`.
+    #[must_use]
+    pub fn standard(n: usize, mu: f64) -> Self {
+        Self {
+            n,
+            avg_degree: 16.0,
+            max_degree: (n / 10).clamp(32, 320),
+            gamma: 2.5,
+            beta: 1.5,
+            mu,
+            min_community: 16,
+            max_community: (n / 8).clamp(32, 1024),
+        }
+    }
+}
+
+/// An LFR graph: edges plus planted ground truth.
+#[derive(Clone, Debug)]
+pub struct LfrGraph {
+    /// The generated edges (weight 1).
+    pub edges: EdgeList,
+    /// Ground-truth community per vertex.
+    pub ground_truth: Vec<u32>,
+    /// Number of planted communities.
+    pub num_communities: usize,
+    /// Realized mixing parameter (external edge endpoints / all endpoints).
+    pub realized_mu: f64,
+}
+
+/// Generates an LFR benchmark graph.
+///
+/// ```
+/// use louvain_graph::gen::lfr::{generate_lfr, LfrConfig};
+///
+/// let g = generate_lfr(&LfrConfig::standard(1000, 0.3), 42);
+/// assert_eq!(g.ground_truth.len(), 1000);
+/// assert!((g.realized_mu - 0.3).abs() < 0.1);
+/// assert!(g.num_communities > 1);
+/// ```
+#[must_use]
+pub fn generate_lfr(cfg: &LfrConfig, seed: u64) -> LfrGraph {
+    assert!(cfg.n >= 2 * cfg.min_community, "n too small for communities");
+    assert!((0.0..1.0).contains(&cfg.mu), "mu must be in [0, 1)");
+    assert!(cfg.min_community <= cfg.max_community);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // 1. Degree sequence.
+    let hi = cfg.max_degree.min(cfg.n - 1).max(2);
+    let lo = powerlaw::lo_for_mean(cfg.gamma, hi, cfg.avg_degree).min(hi);
+    let degrees: Vec<usize> = (0..cfg.n)
+        .map(|_| powerlaw::sample(&mut rng, cfg.gamma, lo, hi))
+        .collect();
+
+    // 2. Community sizes summing to exactly n.
+    let sizes = community_sizes(cfg, &mut rng);
+    let num_communities = sizes.len();
+
+    // 3. Internal degrees.
+    let d_int: Vec<usize> = degrees
+        .iter()
+        .map(|&d| ((1.0 - cfg.mu) * d as f64).round() as usize)
+        .collect();
+
+    // 4. Assign vertices to communities (capacity + fit constraints).
+    let (truth, mut d_int) = assign_communities(cfg, &sizes, &d_int, &mut rng);
+
+    // Clamp internal degree to community size - 1 (a vertex cannot have
+    // more internal neighbours than co-members).
+    for v in 0..cfg.n {
+        let cap = sizes[truth[v] as usize] - 1;
+        if d_int[v] > cap {
+            d_int[v] = cap;
+        }
+    }
+
+    // 5. Internal edges: configuration model inside each community.
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); num_communities];
+    for (v, &c) in truth.iter().enumerate() {
+        members[c as usize].push(v as u32);
+    }
+    let mut b = EdgeListBuilder::with_capacity(
+        cfg.n,
+        (cfg.n as f64 * cfg.avg_degree / 2.0) as usize + 16,
+    );
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut internal_endpoints = 0usize;
+    for mem in &members {
+        internal_endpoints +=
+            pair_stubs(mem, &d_int, &mut b, &mut seen, &mut rng, None);
+    }
+
+    // 6. External edges: global configuration model rejecting
+    //    intra-community pairs.
+    let d_ext: Vec<usize> = (0..cfg.n).map(|v| degrees[v].saturating_sub(d_int[v])).collect();
+    let all: Vec<u32> = (0..cfg.n as u32).collect();
+    let external_endpoints =
+        pair_stubs(&all, &d_ext, &mut b, &mut seen, &mut rng, Some(&truth));
+
+    let edges = b.build();
+    let realized_mu = if internal_endpoints + external_endpoints == 0 {
+        0.0
+    } else {
+        external_endpoints as f64 / (internal_endpoints + external_endpoints) as f64
+    };
+    LfrGraph {
+        edges,
+        ground_truth: truth,
+        num_communities,
+        realized_mu,
+    }
+}
+
+/// Draws power-law community sizes summing to exactly `cfg.n`.
+fn community_sizes(cfg: &LfrConfig, rng: &mut StdRng) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    let mut total = 0usize;
+    while total < cfg.n {
+        let s = powerlaw::sample(rng, cfg.beta, cfg.min_community, cfg.max_community);
+        sizes.push(s);
+        total += s;
+    }
+    // Trim the overshoot from the last community; merge into the previous
+    // one if it would fall below the minimum.
+    let over = total - cfg.n;
+    let last = sizes.len() - 1;
+    if sizes[last] > over + cfg.min_community - 1 {
+        sizes[last] -= over;
+    } else if sizes.len() >= 2 {
+        let s = sizes.pop().unwrap();
+        let keep = s - over;
+        *sizes.last_mut().unwrap() += keep;
+    } else {
+        sizes[0] = cfg.n;
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), cfg.n);
+    sizes
+}
+
+/// Random assignment with capacity and `d_int < size` fit constraints.
+/// Returns (community per vertex, possibly reduced internal degrees).
+fn assign_communities(
+    cfg: &LfrConfig,
+    sizes: &[usize],
+    d_int: &[usize],
+    rng: &mut StdRng,
+) -> (Vec<u32>, Vec<usize>) {
+    let mut order: Vec<usize> = (0..cfg.n).collect();
+    order.shuffle(rng);
+    // Assign the highest internal degrees first so big vertices land in
+    // communities that can host them.
+    order.sort_by_key(|&v| std::cmp::Reverse(d_int[v]));
+    let mut remaining: Vec<usize> = sizes.to_vec();
+    // Communities sorted by size descending for fit-first placement.
+    let mut by_size: Vec<usize> = (0..sizes.len()).collect();
+    by_size.sort_by_key(|&c| std::cmp::Reverse(sizes[c]));
+    let mut truth = vec![u32::MAX; cfg.n];
+    let d_int = d_int.to_vec();
+    for &v in &order {
+        // Try a few random communities that fit.
+        let mut placed = false;
+        for _ in 0..24 {
+            let c = rng.gen_range(0..sizes.len());
+            if remaining[c] > 0 && d_int[v] < sizes[c] {
+                truth[v] = c as u32;
+                remaining[c] -= 1;
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            // Deterministic fallback: largest community with room.
+            if let Some(&c) = by_size.iter().find(|&&c| remaining[c] > 0) {
+                truth[v] = c as u32;
+                remaining[c] -= 1;
+                // Degree may need clamping; done by the caller.
+            } else {
+                unreachable!("capacities sum to n");
+            }
+        }
+    }
+    (truth, d_int)
+}
+
+/// Configuration-model stub pairing over `vertices`, drawing `stubs[v]`
+/// stubs for each. When `forbid_same` is given, pairs whose endpoints share
+/// a community are rejected. Returns the number of stub endpoints
+/// successfully matched (2 per created edge), accumulating edges into `b`
+/// and the dedup set `seen`.
+fn pair_stubs(
+    vertices: &[u32],
+    stubs: &[usize],
+    b: &mut EdgeListBuilder,
+    seen: &mut HashSet<u64>,
+    rng: &mut StdRng,
+    forbid_same: Option<&[u32]>,
+) -> usize {
+    let mut pool: Vec<u32> = Vec::new();
+    for &v in vertices {
+        pool.extend(std::iter::repeat_n(v, stubs[v as usize]));
+    }
+    let mut matched = 0usize;
+    // Up to a few passes: pair, keep rejects, reshuffle.
+    for _pass in 0..8 {
+        if pool.len() < 2 {
+            break;
+        }
+        pool.shuffle(rng);
+        let mut rejects: Vec<u32> = Vec::new();
+        let mut i = 0;
+        while i + 1 < pool.len() {
+            let (u, v) = (pool[i], pool[i + 1]);
+            i += 2;
+            let bad = u == v
+                || forbid_same.is_some_and(|t| t[u as usize] == t[v as usize]);
+            if bad {
+                rejects.push(u);
+                rejects.push(v);
+                continue;
+            }
+            let (lo, hi) = if u < v { (u, v) } else { (v, u) };
+            let key = ((lo as u64) << 32) | hi as u64;
+            if seen.insert(key) {
+                b.add_edge(lo, hi, 1.0);
+                matched += 2;
+            } else {
+                rejects.push(u);
+                rejects.push(v);
+            }
+        }
+        if i < pool.len() {
+            rejects.push(pool[i]);
+        }
+        if rejects.len() == pool.len() {
+            break; // no progress
+        }
+        pool = rejects;
+    }
+    matched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(mu: f64) -> LfrConfig {
+        LfrConfig {
+            n: 2000,
+            avg_degree: 12.0,
+            max_degree: 100,
+            gamma: 2.5,
+            beta: 1.5,
+            mu,
+            min_community: 16,
+            max_community: 128,
+        }
+    }
+
+    #[test]
+    fn ground_truth_is_a_partition() {
+        let g = generate_lfr(&small_cfg(0.3), 1);
+        assert_eq!(g.ground_truth.len(), 2000);
+        let max = *g.ground_truth.iter().max().unwrap() as usize;
+        assert!(max < g.num_communities);
+        // Every community non-empty.
+        let mut counts = vec![0usize; g.num_communities];
+        for &c in &g.ground_truth {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn realized_mu_tracks_requested_mu() {
+        for &mu in &[0.1, 0.3, 0.5] {
+            let g = generate_lfr(&small_cfg(mu), 7);
+            assert!(
+                (g.realized_mu - mu).abs() < 0.08,
+                "mu={mu} realized {}",
+                g.realized_mu
+            );
+        }
+    }
+
+    #[test]
+    fn average_degree_near_target() {
+        let cfg = small_cfg(0.3);
+        let g = generate_lfr(&cfg, 3);
+        let avg = 2.0 * g.edges.num_edges() as f64 / cfg.n as f64;
+        assert!(
+            (avg - cfg.avg_degree).abs() / cfg.avg_degree < 0.25,
+            "avg degree {avg} vs target {}",
+            cfg.avg_degree
+        );
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let g = generate_lfr(&small_cfg(0.4), 9);
+        let mut seen = HashSet::new();
+        for e in g.edges.edges() {
+            assert_ne!(e.u, e.v);
+            assert!(seen.insert((e.u, e.v)), "duplicate edge {:?}", (e.u, e.v));
+            assert_eq!(e.w, 1.0);
+        }
+    }
+
+    #[test]
+    fn low_mu_graphs_have_high_ground_truth_modularity() {
+        // With μ=0.1 the planted partition must explain most edges:
+        // internal fraction ≈ 0.9.
+        let g = generate_lfr(&small_cfg(0.1), 5);
+        let internal = g
+            .edges
+            .edges()
+            .iter()
+            .filter(|e| g.ground_truth[e.u as usize] == g.ground_truth[e.v as usize])
+            .count();
+        let frac = internal as f64 / g.edges.num_edges() as f64;
+        assert!(frac > 0.85, "internal fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_lfr(&small_cfg(0.3), 42);
+        let b = generate_lfr(&small_cfg(0.3), 42);
+        assert_eq!(a.edges.num_edges(), b.edges.num_edges());
+        assert_eq!(a.ground_truth, b.ground_truth);
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic graph generators used by the paper's evaluation (Table I).
+//!
+//! * [`er`] — Erdős–Rényi `G(n, m)` / `G(n, p)`, the simplest null model
+//!   and the in-block generator of BTER.
+//! * [`rmat`] — R-MAT conforming to the Graph500 parameters (`a=0.57,
+//!   b=0.19, c=0.19, d=0.05`, edge factor 16); scale-free but *without*
+//!   marked community structure, exactly as the paper notes.
+//! * [`bter`] — Block Two-Level Erdős–Rényi with a tunable global
+//!   clustering coefficient (the paper uses GCC ∈ {0.15, 0.55} to
+//!   differentiate community structure in Figure 9).
+//! * [`lfr`] — the Lancichinetti–Fortunato–Radicchi benchmark with planted
+//!   power-law communities and mixing parameter μ, used to train the
+//!   convergence heuristic (Figure 2) and for the quality study
+//!   (Table III).
+//! * [`planted`] — planted ℓ-partition (stochastic block model), used
+//!   heavily by the test suites because its ground truth is exact and its
+//!   expected modularity has a closed form.
+//! * [`powerlaw`] — discrete bounded power-law sampling shared by LFR and
+//!   BTER.
+
+pub mod bter;
+pub mod er;
+pub mod lfr;
+pub mod planted;
+pub mod powerlaw;
+pub mod rmat;
+pub mod ws;
+
+pub use bter::{BterConfig, generate_bter};
+pub use er::{generate_gnm, generate_gnp};
+pub use lfr::{LfrConfig, LfrGraph, generate_lfr};
+pub use planted::{PlantedConfig, generate_planted};
+pub use rmat::{RmatConfig, generate_rmat, generate_rmat_chunk};
+pub use ws::{WsConfig, generate_ws};

@@ -1,0 +1,113 @@
+//! Planted ℓ-partition graphs (a symmetric stochastic block model).
+//!
+//! `k` equal-sized blocks; within-block pairs connected with probability
+//! `p_in`, cross-block pairs with `p_out`. With `p_in >> p_out` the blocks
+//! are the unambiguous ground-truth communities — ideal for tests because
+//! any reasonable community-detection algorithm must recover them.
+
+use crate::edgelist::{EdgeList, EdgeListBuilder};
+use crate::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Planted-partition configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlantedConfig {
+    /// Number of blocks (communities).
+    pub communities: usize,
+    /// Vertices per block.
+    pub community_size: usize,
+    /// Within-block edge probability.
+    pub p_in: f64,
+    /// Cross-block edge probability.
+    pub p_out: f64,
+}
+
+impl PlantedConfig {
+    /// Total vertex count.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.communities * self.community_size
+    }
+}
+
+/// Generates a planted-partition graph; returns the edge list and the
+/// ground-truth community label of every vertex.
+#[must_use]
+pub fn generate_planted(cfg: &PlantedConfig, seed: u64) -> (EdgeList, Vec<u32>) {
+    assert!(cfg.communities >= 1 && cfg.community_size >= 1);
+    assert!((0.0..=1.0).contains(&cfg.p_in) && (0.0..=1.0).contains(&cfg.p_out));
+    let n = cfg.num_vertices();
+    let s = cfg.community_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = EdgeListBuilder::new(n);
+    let truth: Vec<u32> = (0..n).map(|v| (v / s) as u32).collect();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if truth[u] == truth[v] {
+                cfg.p_in
+            } else {
+                cfg.p_out
+            };
+            if rng.gen::<f64>() < p {
+                b.add_edge(u as VertexId, v as VertexId, 1.0);
+            }
+        }
+    }
+    (b.build(), truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_partitions_vertices() {
+        let cfg = PlantedConfig {
+            communities: 4,
+            community_size: 25,
+            p_in: 0.3,
+            p_out: 0.01,
+        };
+        let (g, truth) = generate_planted(&cfg, 11);
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(truth.len(), 100);
+        for c in 0..4u32 {
+            assert_eq!(truth.iter().filter(|&&x| x == c).count(), 25);
+        }
+    }
+
+    #[test]
+    fn internal_edges_dominate() {
+        let cfg = PlantedConfig {
+            communities: 5,
+            community_size: 40,
+            p_in: 0.4,
+            p_out: 0.005,
+        };
+        let (g, truth) = generate_planted(&cfg, 12);
+        let internal = g
+            .edges()
+            .iter()
+            .filter(|e| truth[e.u as usize] == truth[e.v as usize])
+            .count();
+        let external = g.num_edges() - internal;
+        assert!(
+            internal > 3 * external,
+            "internal {internal} vs external {external}"
+        );
+    }
+
+    #[test]
+    fn p_in_one_gives_cliques() {
+        let cfg = PlantedConfig {
+            communities: 3,
+            community_size: 5,
+            p_in: 1.0,
+            p_out: 0.0,
+        };
+        let (g, _) = generate_planted(&cfg, 13);
+        // 3 cliques of 5: 3 * C(5,2) = 30 edges.
+        assert_eq!(g.num_edges(), 30);
+    }
+}

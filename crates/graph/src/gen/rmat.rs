@@ -1,0 +1,253 @@
+//! R-MAT recursive-matrix graphs (Chakrabarti, Zhan, Faloutsos; the
+//! Graph500 reference parameters).
+//!
+//! R-MAT graphs are scale-free with heavy-tailed degrees but — as the paper
+//! notes (Section V-A) — "do not have any marked community structure". They
+//! stress load balance (Figure 6) and raw throughput (Figure 9).
+
+use crate::edgelist::{EdgeList, EdgeListBuilder};
+use crate::VertexId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// R-MAT generator configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatConfig {
+    /// `n = 2^scale` vertices.
+    pub scale: u32,
+    /// Undirected edges generated = `edge_factor * n` (Graph500 uses 16,
+    /// i.e. `2^(scale+4)` as in Table I of the paper).
+    pub edge_factor: usize,
+    /// Quadrant probabilities; Graph500: (0.57, 0.19, 0.19, 0.05).
+    pub a: f64,
+    /// Probability of the upper-right quadrant.
+    pub b: f64,
+    /// Probability of the lower-left quadrant.
+    pub c: f64,
+    /// Randomly permute vertex ids (Graph500 style) so the kernel cannot
+    /// exploit the recursive layout.
+    pub permute: bool,
+    /// Drop self-loops and merge duplicate edges.
+    pub clean: bool,
+}
+
+impl RmatConfig {
+    /// Graph500 reference parameters at the given scale.
+    #[must_use]
+    pub fn graph500(scale: u32) -> Self {
+        Self {
+            scale,
+            edge_factor: 16,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            permute: true,
+            clean: true,
+        }
+    }
+
+    /// Number of vertices `2^scale`.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+
+    /// Raw number of generated edges before dedup.
+    #[must_use]
+    pub fn num_edges_raw(&self) -> usize {
+        self.edge_factor * self.num_vertices()
+    }
+}
+
+/// Generates one chunk of an R-MAT graph for distributed loading: chunk
+/// `chunk` of `num_chunks` produces `edge_factor·n / num_chunks` raw
+/// edges, deterministically derived from `(seed, chunk)`. The union over
+/// all chunks is a full R-MAT edge stream (duplicates and self-loops
+/// included — the distributed In-Table accumulates them, mirroring how
+/// Graph500 kernels ingest raw generator output).
+///
+/// Chunked generation cannot apply the global vertex permutation or the
+/// global dedup of [`generate_rmat`]; `cfg.permute`/`cfg.clean` are
+/// ignored.
+#[must_use]
+pub fn generate_rmat_chunk(
+    cfg: &RmatConfig,
+    seed: u64,
+    chunk: usize,
+    num_chunks: usize,
+) -> EdgeList {
+    assert!(num_chunks >= 1 && chunk < num_chunks);
+    assert!(cfg.scale >= 1 && cfg.scale < 32, "scale out of range");
+    let n = cfg.num_vertices();
+    let m_total = cfg.num_edges_raw();
+    let m = m_total / num_chunks + usize::from(chunk < m_total % num_chunks);
+    let mut rng = StdRng::seed_from_u64(
+        seed ^ (chunk as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let mut b = EdgeListBuilder::with_capacity(n, m);
+    let ab = cfg.a + cfg.b;
+    let abc = ab + cfg.c;
+    for _ in 0..m {
+        let (u, v) = sample_edge(cfg, &mut rng, ab, abc);
+        b.add_edge(u, v, 1.0);
+    }
+    b.build()
+}
+
+/// Draws one R-MAT edge by recursive quadrant descent.
+fn sample_edge(cfg: &RmatConfig, rng: &mut StdRng, ab: f64, abc: f64) -> (VertexId, VertexId) {
+    let mut u = 0usize;
+    let mut v = 0usize;
+    for bit in (0..cfg.scale).rev() {
+        let r: f64 = rng.gen();
+        if r < cfg.a {
+            // upper-left: no bits set
+        } else if r < ab {
+            v |= 1 << bit;
+        } else if r < abc {
+            u |= 1 << bit;
+        } else {
+            u |= 1 << bit;
+            v |= 1 << bit;
+        }
+    }
+    (u as VertexId, v as VertexId)
+}
+
+/// Generates an R-MAT graph.
+#[must_use]
+pub fn generate_rmat(cfg: &RmatConfig, seed: u64) -> EdgeList {
+    assert!(cfg.scale >= 1 && cfg.scale < 32, "scale out of range");
+    let d = 1.0 - cfg.a - cfg.b - cfg.c;
+    assert!(d >= -1e-9, "quadrant probabilities exceed 1");
+    let n = cfg.num_vertices();
+    let m = cfg.num_edges_raw();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let perm: Option<Vec<VertexId>> = if cfg.permute {
+        let mut p: Vec<VertexId> = (0..n as VertexId).collect();
+        p.shuffle(&mut rng);
+        Some(p)
+    } else {
+        None
+    };
+
+    let mut b = EdgeListBuilder::with_capacity(n, m);
+    let ab = cfg.a + cfg.b;
+    let abc = ab + cfg.c;
+    for _ in 0..m {
+        let (mut u, mut v) = sample_edge(cfg, &mut rng, ab, abc);
+        if let Some(p) = &perm {
+            u = p[u as usize];
+            v = p[v as usize];
+        }
+        if cfg.clean && u == v {
+            continue;
+        }
+        b.add_edge(u, v, 1.0);
+    }
+    // Builder dedup merges duplicates by summing weights; for `clean`
+    // output we re-normalize weights to 1 to get a simple graph.
+    let el = b.build();
+    if !cfg.clean {
+        return el;
+    }
+    let mut b = EdgeListBuilder::with_capacity(n, el.num_edges());
+    for e in el.edges() {
+        b.add_edge(e.u, e.v, 1.0);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_scale() {
+        let cfg = RmatConfig::graph500(10);
+        let g = generate_rmat(&cfg, 1);
+        assert_eq!(g.num_vertices(), 1024);
+        // Dedup and self-loop removal lose some edges but most survive.
+        assert!(g.num_edges() > cfg.num_edges_raw() / 2);
+        assert!(g.num_edges() <= cfg.num_edges_raw());
+        for e in g.edges() {
+            assert!((e.u as usize) < 1024 && (e.v as usize) < 1024);
+            assert_ne!(e.u, e.v);
+            assert_eq!(e.w, 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RmatConfig::graph500(8);
+        let a = generate_rmat(&cfg, 5);
+        let b = generate_rmat(&cfg, 5);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let c = generate_rmat(&cfg, 6);
+        assert!(
+            a.num_edges() != c.num_edges()
+                || a.edges()
+                    .iter()
+                    .zip(c.edges())
+                    .any(|(x, y)| (x.u, x.v) != (y.u, y.v))
+        );
+    }
+
+    #[test]
+    fn skewed_quadrants_produce_skewed_degrees() {
+        // Without permutation, quadrant a=0.57 concentrates edges on low
+        // vertex ids.
+        let cfg = RmatConfig {
+            permute: false,
+            ..RmatConfig::graph500(10)
+        };
+        let g = generate_rmat(&cfg, 2).to_csr();
+        let n = g.num_vertices();
+        let low: f64 = (0..(n / 4) as u32).map(|u| g.degree(u)).sum();
+        let high: f64 = ((3 * n / 4) as u32..n as u32).map(|u| g.degree(u)).sum();
+        assert!(
+            low > 2.0 * high,
+            "expected low-id quadrant to dominate: {low} vs {high}"
+        );
+    }
+
+    #[test]
+    fn chunks_cover_the_raw_edge_budget() {
+        let cfg = RmatConfig::graph500(8);
+        let chunks = 5;
+        let total_raw: f64 = (0..chunks)
+            .map(|c| generate_rmat_chunk(&cfg, 9, c, chunks).total_weight())
+            .sum();
+        assert_eq!(total_raw, cfg.num_edges_raw() as f64);
+    }
+
+    #[test]
+    fn chunks_are_deterministic_and_distinct() {
+        let cfg = RmatConfig::graph500(8);
+        let a = generate_rmat_chunk(&cfg, 3, 0, 4);
+        let b = generate_rmat_chunk(&cfg, 3, 0, 4);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let c = generate_rmat_chunk(&cfg, 3, 1, 4);
+        let ea: Vec<(u32, u32, f64)> = a.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+        let ec: Vec<(u32, u32, f64)> = c.edges().iter().map(|e| (e.u, e.v, e.w)).collect();
+        assert_ne!(ea, ec, "different chunks must differ");
+    }
+
+    #[test]
+    fn unclean_mode_keeps_multiplicity_as_weight() {
+        let cfg = RmatConfig {
+            clean: false,
+            permute: false,
+            edge_factor: 64,
+            ..RmatConfig::graph500(4)
+        };
+        let g = generate_rmat(&cfg, 3);
+        // 16 vertices, 1024 raw edges: many duplicates, so some weight > 1.
+        assert!(g.edges().iter().any(|e| e.w > 1.0));
+        let total: f64 = g.total_weight();
+        // Total weight preserved (= raw edges, including loops).
+        assert_eq!(total, cfg.num_edges_raw() as f64);
+    }
+}

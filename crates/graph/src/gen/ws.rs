@@ -1,0 +1,145 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! The paper's clustering-coefficient discussion (Figure 9a) cites the
+//! small-world literature [43, 44]; this generator provides the canonical
+//! high-clustering / low-diameter model. Used by the clustering tests as
+//! a known-GCC reference (the ring lattice has GCC = 3(k−2)/(4(k−1)),
+//! decaying with the rewiring probability β) and available for workload
+//! prototyping.
+
+use crate::edgelist::{EdgeList, EdgeListBuilder};
+use crate::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Watts–Strogatz configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WsConfig {
+    /// Number of vertices.
+    pub n: usize,
+    /// Each vertex connects to `k` nearest ring neighbours (`k` even,
+    /// `k < n`).
+    pub k: usize,
+    /// Rewiring probability β ∈ [0, 1].
+    pub beta: f64,
+}
+
+/// Generates a Watts–Strogatz graph.
+#[must_use]
+pub fn generate_ws(cfg: &WsConfig, seed: u64) -> EdgeList {
+    assert!(cfg.k.is_multiple_of(2) && cfg.k >= 2, "k must be even and >= 2");
+    assert!(cfg.k < cfg.n, "k must be below n");
+    assert!((0.0..=1.0).contains(&cfg.beta));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = cfg.n as u32;
+    // Edge set as adjacency for rewire-duplicate checks.
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(cfg.n * cfg.k / 2);
+    let mut present = std::collections::HashSet::with_capacity(cfg.n * cfg.k);
+    let key = |a: u32, b: u32| {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        ((lo as u64) << 32) | hi as u64
+    };
+    for u in 0..n {
+        for j in 1..=(cfg.k / 2) as u32 {
+            let v = (u + j) % n;
+            edges.push((u, v));
+            present.insert(key(u, v));
+        }
+    }
+    // Rewire each lattice edge's far endpoint with probability β.
+    for e in edges.iter_mut() {
+        if rng.gen::<f64>() < cfg.beta {
+            let (u, old_v) = *e;
+            // Draw a new endpoint avoiding self-loops and duplicates.
+            for _ in 0..32 {
+                let v = rng.gen_range(0..n);
+                if v != u && !present.contains(&key(u, v)) {
+                    present.remove(&key(u, old_v));
+                    present.insert(key(u, v));
+                    *e = (u, v);
+                    break;
+                }
+            }
+        }
+    }
+    let mut b = EdgeListBuilder::with_capacity(cfg.n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u as VertexId, v as VertexId, 1.0);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::sampled_gcc;
+    use crate::traversal::estimate_diameter;
+
+    #[test]
+    fn lattice_has_exact_edge_count() {
+        let g = generate_ws(
+            &WsConfig {
+                n: 100,
+                k: 6,
+                beta: 0.0,
+            },
+            1,
+        );
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 300);
+    }
+
+    #[test]
+    fn lattice_clustering_matches_formula() {
+        // GCC of the β=0 ring lattice: 3(k-2)/(4(k-1)).
+        let k = 8;
+        let g = generate_ws(
+            &WsConfig {
+                n: 2000,
+                k,
+                beta: 0.0,
+            },
+            2,
+        )
+        .to_csr();
+        let expect = 3.0 * (k as f64 - 2.0) / (4.0 * (k as f64 - 1.0));
+        let got = sampled_gcc(&g, 40_000, 3);
+        assert!(
+            (got - expect).abs() < 0.02,
+            "GCC {got} vs formula {expect}"
+        );
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter_and_clustering() {
+        let base = WsConfig {
+            n: 1000,
+            k: 6,
+            beta: 0.0,
+        };
+        let lattice = generate_ws(&base, 4).to_csr();
+        let small_world = generate_ws(&WsConfig { beta: 0.3, ..base }, 4).to_csr();
+        let d0 = estimate_diameter(&lattice, 2, 5);
+        let d1 = estimate_diameter(&small_world, 2, 5);
+        assert!(d1 < d0 / 2, "diameter {d0} -> {d1}");
+        let c0 = sampled_gcc(&lattice, 20_000, 6);
+        let c1 = sampled_gcc(&small_world, 20_000, 6);
+        assert!(c1 < c0, "clustering {c0} -> {c1}");
+    }
+
+    #[test]
+    fn full_rewiring_keeps_edge_count() {
+        let g = generate_ws(
+            &WsConfig {
+                n: 500,
+                k: 4,
+                beta: 1.0,
+            },
+            7,
+        );
+        // Rewiring may occasionally fail to find a fresh endpoint and
+        // keep the lattice edge, but the count of (deduplicated) edges
+        // stays close to n*k/2.
+        assert!(g.num_edges() > 950 && g.num_edges() <= 1000);
+    }
+}

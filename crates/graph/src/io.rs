@@ -1,0 +1,162 @@
+//! Plain-text weighted edge-list I/O.
+//!
+//! Format: one edge per line, `u v [w]`, whitespace separated; `#` and `%`
+//! prefix comments (SNAP / Matrix-Market-adjacent conventions). Weight
+//! defaults to 1. The vertex count is `max id + 1` unless a larger `n` is
+//! given by a `# n <count>` header line.
+
+use crate::edgelist::{EdgeList, EdgeListBuilder};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from edge-list parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed line with its 1-based number and content.
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse(line, s) => write!(f, "parse error on line {line}: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Reads a weighted edge list from any reader.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<EdgeList, IoError> {
+    let mut edges: Vec<(u32, u32, f64)> = Vec::new();
+    let mut declared_n: Option<usize> = None;
+    let mut max_id: u32 = 0;
+    let mut any = false;
+    let br = BufReader::new(reader);
+    for (idx, line) in br.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix('#') {
+            let mut it = rest.split_whitespace();
+            if it.next() == Some("n") {
+                if let Some(Ok(n)) = it.next().map(str::parse::<usize>) {
+                    declared_n = Some(n);
+                }
+            }
+            continue;
+        }
+        if t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse =
+            |s: Option<&str>| s.and_then(|x| x.parse::<u32>().ok());
+        let (u, v) = match (parse(it.next()), parse(it.next())) {
+            (Some(u), Some(v)) => (u, v),
+            _ => return Err(IoError::Parse(idx + 1, line.clone())),
+        };
+        let w = match it.next() {
+            None => 1.0,
+            Some(s) => s
+                .parse::<f64>()
+                .map_err(|_| IoError::Parse(idx + 1, line.clone()))?,
+        };
+        max_id = max_id.max(u).max(v);
+        any = true;
+        edges.push((u, v, w));
+    }
+    let n = declared_n.unwrap_or(if any { max_id as usize + 1 } else { 0 });
+    let mut b = EdgeListBuilder::with_capacity(n, edges.len());
+    for (u, v, w) in edges {
+        b.add_edge(u, v, w);
+    }
+    Ok(b.build())
+}
+
+/// Reads a weighted edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<EdgeList, IoError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes an edge list (with an `# n` header) to any writer.
+pub fn write_edge_list<W: Write>(el: &EdgeList, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# n {}", el.num_vertices())?;
+    for e in el.edges() {
+        if (e.w - 1.0).abs() < f64::EPSILON {
+            writeln!(w, "{} {}", e.u, e.v)?;
+        } else {
+            writeln!(w, "{} {} {}", e.u, e.v, e.w)?;
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes an edge list to a file path.
+pub fn write_edge_list_file<P: AsRef<Path>>(el: &EdgeList, path: P) -> Result<(), IoError> {
+    write_edge_list(el, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_lines() {
+        let text = "# comment\n# n 10\n0 1\n1 2 2.5\n% mm comment\n\n3 3 4\n";
+        let el = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(el.num_vertices(), 10);
+        assert_eq!(el.num_edges(), 3);
+        assert_eq!(el.total_weight(), 1.0 + 2.5 + 4.0);
+    }
+
+    #[test]
+    fn n_inferred_from_max_id() {
+        let el = read_edge_list("5 9\n".as_bytes()).unwrap();
+        assert_eq!(el.num_vertices(), 10);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err = read_edge_list("0 1\nnot an edge\n".as_bytes()).unwrap_err();
+        match err {
+            IoError::Parse(line, _) => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut b = EdgeListBuilder::new(6);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(2, 3, 0.5);
+        b.add_edge(5, 5, 2.0);
+        let el = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&el, &mut buf).unwrap();
+        let el2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(el2.num_vertices(), 6);
+        assert_eq!(el2.num_edges(), 3);
+        assert_eq!(el2.total_weight(), el.total_weight());
+    }
+
+    #[test]
+    fn empty_input() {
+        let el = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(el.num_vertices(), 0);
+        assert_eq!(el.num_edges(), 0);
+    }
+}

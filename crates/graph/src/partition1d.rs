@@ -1,0 +1,136 @@
+//! The 1D modulo vertex decomposition of Section IV-A.
+//!
+//! "We linearly split the vertices and their edge lists among the compute
+//! nodes using a 1D decomposition. Each node is assigned a set of vertices
+//! according to a simple modulo function."
+//!
+//! Vertex `v` is owned by rank `v mod p`; the owning rank stores all
+//! information (edges, community state) for its vertices.
+
+use crate::VertexId;
+
+/// Modulo-`p` ownership map over vertices `0..n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModuloPartition {
+    n: usize,
+    p: usize,
+}
+
+impl ModuloPartition {
+    /// Creates a partition of `n` vertices over `p >= 1` ranks.
+    #[must_use]
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(p >= 1, "at least one rank required");
+        Self { n, p }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn num_ranks(&self) -> usize {
+        self.p
+    }
+
+    /// Rank owning vertex `v`.
+    #[inline(always)]
+    #[must_use]
+    pub fn owner(&self, v: VertexId) -> usize {
+        (v as usize) % self.p
+    }
+
+    /// Number of vertices owned by `rank`.
+    #[must_use]
+    pub fn local_count(&self, rank: usize) -> usize {
+        debug_assert!(rank < self.p);
+        if self.n == 0 {
+            return 0;
+        }
+        // Vertices rank, rank+p, rank+2p, ... below n.
+        if rank < self.n % self.p {
+            self.n / self.p + 1
+        } else {
+            self.n / self.p
+        }
+    }
+
+    /// Iterates the vertices owned by `rank` in increasing order.
+    pub fn local_vertices(&self, rank: usize) -> impl Iterator<Item = VertexId> + '_ {
+        debug_assert!(rank < self.p);
+        (rank..self.n).step_by(self.p).map(|v| v as VertexId)
+    }
+
+    /// Dense local index of `v` on its owner (inverse of
+    /// [`ModuloPartition::global`]).
+    #[inline(always)]
+    #[must_use]
+    pub fn local_index(&self, v: VertexId) -> usize {
+        (v as usize) / self.p
+    }
+
+    /// Global vertex id of local index `i` on `rank`.
+    #[inline(always)]
+    #[must_use]
+    pub fn global(&self, rank: usize, i: usize) -> VertexId {
+        (i * self.p + rank) as VertexId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_modulo() {
+        let p = ModuloPartition::new(10, 3);
+        assert_eq!(p.owner(0), 0);
+        assert_eq!(p.owner(1), 1);
+        assert_eq!(p.owner(5), 2);
+        assert_eq!(p.owner(9), 0);
+    }
+
+    #[test]
+    fn local_counts_sum_to_n() {
+        for n in [0usize, 1, 7, 10, 100, 101] {
+            for p in [1usize, 2, 3, 7, 16] {
+                let part = ModuloPartition::new(n, p);
+                let total: usize = (0..p).map(|r| part.local_count(r)).sum();
+                assert_eq!(total, n, "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_vertices_match_counts_and_ownership() {
+        let part = ModuloPartition::new(23, 4);
+        for r in 0..4 {
+            let vs: Vec<u32> = part.local_vertices(r).collect();
+            assert_eq!(vs.len(), part.local_count(r));
+            for &v in &vs {
+                assert_eq!(part.owner(v), r);
+            }
+        }
+    }
+
+    #[test]
+    fn local_global_roundtrip() {
+        let part = ModuloPartition::new(100, 7);
+        for v in 0..100u32 {
+            let r = part.owner(v);
+            let i = part.local_index(v);
+            assert_eq!(part.global(r, i), v);
+        }
+    }
+
+    #[test]
+    fn single_rank_owns_everything() {
+        let part = ModuloPartition::new(5, 1);
+        assert_eq!(part.local_count(0), 5);
+        let vs: Vec<u32> = part.local_vertices(0).collect();
+        assert_eq!(vs, vec![0, 1, 2, 3, 4]);
+    }
+}

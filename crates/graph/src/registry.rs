@@ -1,0 +1,257 @@
+//! Scaled synthetic stand-ins for the real-world graphs of Table I.
+//!
+//! The paper evaluates on SNAP/WebGraph datasets (Amazon, DBLP, ND-Web,
+//! YouTube, LiveJournal, Wikipedia, UK-2005, Twitter, UK-2007) that are not
+//! redistributable here. Each registry entry generates a *stand-in* whose
+//! role in the evaluation is preserved:
+//!
+//! * graphs whose experiments depend on **community structure** (the
+//!   quality studies, Figures 4–5, Table III) are LFR graphs with a mixing
+//!   parameter chosen to match the qualitative strength of the original's
+//!   communities (web graphs ⇒ low μ, social networks ⇒ higher μ);
+//! * graphs whose experiments stress **scale and skew** (Figures 7–9,
+//!   Table IV) are R-MAT (no marked communities, like Twitter/Wikipedia's
+//!   weak structure) or BTER (strong clustering, like the UK web crawls);
+//! * vertex/edge counts are scaled down uniformly (factors recorded per
+//!   entry) so the full suite runs on one machine.
+
+use crate::edgelist::EdgeList;
+use crate::gen::bter::{generate_bter, BterConfig};
+use crate::gen::lfr::{generate_lfr, LfrConfig};
+use crate::gen::rmat::{generate_rmat, RmatConfig};
+
+/// Which generator backs a stand-in.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkloadKind {
+    /// LFR with planted communities.
+    Lfr(LfrConfig),
+    /// BTER with tunable clustering.
+    Bter(BterConfig),
+    /// R-MAT (scale-free, no marked communities).
+    Rmat(RmatConfig),
+}
+
+/// A generated workload: edges plus ground truth when the generator plants
+/// one.
+#[derive(Clone, Debug)]
+pub struct GeneratedGraph {
+    /// The edges.
+    pub edges: EdgeList,
+    /// Planted community labels (LFR, BTER blocks); `None` for R-MAT.
+    pub ground_truth: Option<Vec<u32>>,
+}
+
+/// One Table-I stand-in.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Short name (lowercase, used on the bench command line).
+    pub name: &'static str,
+    /// What the original graph was.
+    pub description: &'static str,
+    /// Vertices in the paper's original dataset.
+    pub paper_vertices: u64,
+    /// Edges in the paper's original dataset.
+    pub paper_edges: u64,
+    /// Downscaling factor applied to the original size.
+    pub scale_factor: &'static str,
+    /// Generator configuration.
+    pub kind: WorkloadKind,
+}
+
+impl Workload {
+    /// Generates the stand-in graph deterministically from `seed`.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> GeneratedGraph {
+        match &self.kind {
+            WorkloadKind::Lfr(cfg) => {
+                let g = generate_lfr(cfg, seed);
+                GeneratedGraph {
+                    edges: g.edges,
+                    ground_truth: Some(g.ground_truth),
+                }
+            }
+            WorkloadKind::Bter(cfg) => {
+                let (edges, blocks) = generate_bter(cfg, seed);
+                GeneratedGraph {
+                    edges,
+                    ground_truth: Some(blocks),
+                }
+            }
+            WorkloadKind::Rmat(cfg) => GeneratedGraph {
+                edges: generate_rmat(cfg, seed),
+                ground_truth: None,
+            },
+        }
+    }
+
+    /// Expected vertex count of the stand-in.
+    #[must_use]
+    pub fn standin_vertices(&self) -> usize {
+        match &self.kind {
+            WorkloadKind::Lfr(c) => c.n,
+            WorkloadKind::Bter(c) => c.n,
+            WorkloadKind::Rmat(c) => c.num_vertices(),
+        }
+    }
+}
+
+fn lfr(n: usize, avg_degree: f64, mu: f64, max_community: usize) -> WorkloadKind {
+    WorkloadKind::Lfr(LfrConfig {
+        n,
+        avg_degree,
+        max_degree: (n / 10).clamp(32, 400),
+        gamma: 2.5,
+        beta: 1.5,
+        mu,
+        min_community: 16,
+        max_community,
+    })
+}
+
+/// The full stand-in registry, in Table-I order.
+#[must_use]
+pub fn registry() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "amazon",
+            description: "Amazon product co-purchasing network (0.335M/0.925M)",
+            paper_vertices: 335_000,
+            paper_edges: 925_000,
+            scale_factor: "1/10",
+            kind: lfr(33_000, 5.5, 0.30, 256),
+        },
+        Workload {
+            name: "dblp",
+            description: "DBLP collaboration network (0.317M/1.049M)",
+            paper_vertices: 317_000,
+            paper_edges: 1_049_000,
+            scale_factor: "1/10",
+            kind: lfr(32_000, 6.6, 0.35, 256),
+        },
+        Workload {
+            name: "ndweb",
+            description: "Notre Dame web-pages network (0.325M/1.497M)",
+            paper_vertices: 325_000,
+            paper_edges: 1_497_000,
+            scale_factor: "1/10",
+            kind: lfr(32_500, 9.2, 0.15, 512),
+        },
+        Workload {
+            name: "youtube",
+            description: "YouTube social network (1.135M/2.987M)",
+            paper_vertices: 1_135_000,
+            paper_edges: 2_987_000,
+            scale_factor: "1/20",
+            kind: lfr(56_000, 5.3, 0.45, 512),
+        },
+        Workload {
+            name: "livejournal",
+            description: "LiveJournal social network (3.997M/34.68M)",
+            paper_vertices: 3_997_000,
+            paper_edges: 34_680_000,
+            scale_factor: "1/50",
+            kind: lfr(80_000, 17.4, 0.40, 1024),
+        },
+        Workload {
+            name: "wikipedia",
+            description: "English Wikipedia link graph (4.206M/77.66M)",
+            paper_vertices: 4_206_000,
+            paper_edges: 77_660_000,
+            scale_factor: "1/64 (R-MAT: weak community structure)",
+            kind: WorkloadKind::Rmat(RmatConfig {
+                scale: 16,
+                edge_factor: 18,
+                ..RmatConfig::graph500(16)
+            }),
+        },
+        Workload {
+            name: "uk2005",
+            description: "UK web crawl 2005 (39.46M/936.4M)",
+            paper_vertices: 39_460_000,
+            paper_edges: 936_400_000,
+            scale_factor: "~1/400 (BTER: strong clustering like a web crawl)",
+            kind: WorkloadKind::Bter(BterConfig {
+                n: 100_000,
+                avg_degree: 24.0,
+                max_degree: 2048,
+                gamma: 2.4,
+                gcc: 0.50,
+            }),
+        },
+        Workload {
+            name: "twitter",
+            description: "Twitter follower graph, July 2009 (41.7M/1470M)",
+            paper_vertices: 41_700_000,
+            paper_edges: 1_470_000_000,
+            scale_factor: "~1/320 (R-MAT: scale-free, weak communities)",
+            kind: WorkloadKind::Rmat(RmatConfig {
+                scale: 17,
+                edge_factor: 35,
+                ..RmatConfig::graph500(17)
+            }),
+        },
+        Workload {
+            name: "uk2007",
+            description: "UK web crawl 2007 (105.9M/3783.7M)",
+            paper_vertices: 105_900_000,
+            paper_edges: 3_783_700_000,
+            scale_factor: "~1/530 (BTER)",
+            kind: WorkloadKind::Bter(BterConfig {
+                n: 200_000,
+                avg_degree: 36.0,
+                max_degree: 4096,
+                gamma: 2.4,
+                gcc: 0.50,
+            }),
+        },
+    ]
+}
+
+/// Looks a workload up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Workload> {
+    registry().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_unique_and_findable() {
+        let r = registry();
+        assert_eq!(r.len(), 9);
+        for w in &r {
+            assert!(by_name(w.name).is_some());
+        }
+        let mut names: Vec<&str> = r.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 9);
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("orkut").is_none());
+    }
+
+    #[test]
+    fn small_standins_generate_with_truth() {
+        for name in ["amazon", "dblp"] {
+            let w = by_name(name).unwrap();
+            let g = w.generate(1);
+            assert_eq!(g.edges.num_vertices(), w.standin_vertices());
+            assert!(g.edges.num_edges() > w.standin_vertices());
+            let t = g.ground_truth.expect("LFR stand-ins have ground truth");
+            assert_eq!(t.len(), w.standin_vertices());
+        }
+    }
+
+    #[test]
+    fn rmat_standin_has_no_truth() {
+        let w = by_name("wikipedia").unwrap();
+        let g = w.generate(2);
+        assert!(g.ground_truth.is_none());
+        assert_eq!(g.edges.num_vertices(), 1 << 16);
+    }
+}

@@ -1,0 +1,205 @@
+//! BFS-based traversal utilities: connected components and diameter
+//! estimation.
+//!
+//! Table I of the paper reports a diameter for every evaluation graph;
+//! [`estimate_diameter`] reproduces that column for the stand-ins with
+//! the standard double-sweep lower bound. Connected components are used
+//! by the workload validation (community structure is only meaningful
+//! within components) and by tests.
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+use std::collections::VecDeque;
+
+/// Connected-component labeling (ignoring weights/directions).
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component id per vertex (dense, in discovery order).
+    pub label: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+    /// Size of each component.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Index of the largest component.
+    #[must_use]
+    pub fn largest(&self) -> Option<u32> {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| *s)
+            .map(|(i, _)| i as u32)
+    }
+}
+
+/// Labels connected components with iterative BFS.
+#[must_use]
+pub fn connected_components(g: &CsrGraph) -> Components {
+    let n = g.num_vertices();
+    let mut label = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    let mut next = 0u32;
+    for start in 0..n as u32 {
+        if label[start as usize] != u32::MAX {
+            continue;
+        }
+        let mut size = 0usize;
+        label[start as usize] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for (v, _) in g.neighbors(u) {
+                if label[v as usize] == u32::MAX {
+                    label[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+        next += 1;
+    }
+    Components {
+        label,
+        count: next as usize,
+        sizes,
+    }
+}
+
+/// BFS from `start`; returns (distance array with `u32::MAX` for
+/// unreachable, farthest vertex, eccentricity).
+#[must_use]
+pub fn bfs_distances(g: &CsrGraph, start: VertexId) -> (Vec<u32>, VertexId, u32) {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[start as usize] = 0;
+    queue.push_back(start);
+    let mut far = start;
+    let mut ecc = 0u32;
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        if du > ecc {
+            ecc = du;
+            far = u;
+        }
+        for (v, _) in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    (dist, far, ecc)
+}
+
+/// Double-sweep diameter lower bound: BFS from a few pseudo-random
+/// starts, then BFS again from the farthest vertex found; the maximum
+/// eccentricity observed is a tight lower bound on small-world graphs.
+#[must_use]
+pub fn estimate_diameter(g: &CsrGraph, sweeps: usize, seed: u64) -> u32 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0;
+    }
+    let mut best = 0u32;
+    let mut state = seed | 1;
+    for _ in 0..sweeps.max(1) {
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let start = ((state >> 33) as usize % n) as u32;
+        if g.arc_count(start) == 0 {
+            continue;
+        }
+        let (_, far, _) = bfs_distances(g, start);
+        let (_, _, ecc2) = bfs_distances(g, far);
+        best = best.max(ecc2);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeListBuilder;
+
+    fn path(n: usize) -> CsrGraph {
+        let mut b = EdgeListBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as u32, i as u32 + 1, 1.0);
+        }
+        b.build_csr()
+    }
+
+    #[test]
+    fn single_component_path() {
+        let g = path(10);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 1);
+        assert_eq!(c.sizes, vec![10]);
+        assert!(c.label.iter().all(|&l| l == 0));
+        assert_eq!(c.largest(), Some(0));
+    }
+
+    #[test]
+    fn multiple_components() {
+        // Two paths and an isolated vertex.
+        let mut b = EdgeListBuilder::new(7);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(3, 4, 1.0);
+        let g = b.build_csr();
+        let c = connected_components(&g);
+        assert_eq!(c.count, 4); // {0,1,2}, {3,4}, {5}, {6}
+        assert_eq!(c.sizes.iter().sum::<usize>(), 7);
+        assert_eq!(c.largest(), Some(0));
+        assert_eq!(c.label[0], c.label[2]);
+        assert_ne!(c.label[0], c.label[3]);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path(6);
+        let (dist, far, ecc) = bfs_distances(&g, 0);
+        assert_eq!(dist, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(far, 5);
+        assert_eq!(ecc, 5);
+    }
+
+    #[test]
+    fn bfs_unreachable_marked() {
+        let mut b = EdgeListBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build_csr();
+        let (dist, _, ecc) = bfs_distances(&g, 0);
+        assert_eq!(dist[1], 1);
+        assert_eq!(dist[2], u32::MAX);
+        assert_eq!(ecc, 1);
+    }
+
+    #[test]
+    fn diameter_of_path_exact() {
+        let g = path(20);
+        // Double sweep is exact on trees.
+        assert_eq!(estimate_diameter(&g, 3, 7), 19);
+    }
+
+    #[test]
+    fn diameter_of_cycle_at_least_half() {
+        let n = 30;
+        let mut b = EdgeListBuilder::new(n);
+        for i in 0..n {
+            b.add_edge(i as u32, ((i + 1) % n) as u32, 1.0);
+        }
+        let g = b.build_csr();
+        let d = estimate_diameter(&g, 4, 9);
+        assert_eq!(d, 15); // exact diameter of C30
+    }
+
+    #[test]
+    fn empty_graph_diameter_zero() {
+        let g = EdgeListBuilder::new(0).build_csr();
+        assert_eq!(estimate_diameter(&g, 3, 1), 0);
+    }
+}

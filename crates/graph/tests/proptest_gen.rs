@@ -1,0 +1,126 @@
+//! Property-based tests for the generators and core graph types.
+
+use louvain_graph::edgelist::EdgeListBuilder;
+use louvain_graph::gen::er::generate_gnm;
+use louvain_graph::gen::lfr::{generate_lfr, LfrConfig};
+use louvain_graph::gen::powerlaw;
+use louvain_graph::gen::rmat::{generate_rmat, RmatConfig};
+use louvain_graph::partition1d::ModuloPartition;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Builder dedup preserves total weight and canonicalizes endpoints,
+    /// for arbitrary raw edge multisets.
+    #[test]
+    fn builder_dedup_preserves_weight(
+        raw in proptest::collection::vec((0u32..30, 0u32..30, 1u32..5), 0..200)
+    ) {
+        let mut b = EdgeListBuilder::new(30);
+        let mut total = 0.0;
+        for &(u, v, w) in &raw {
+            b.add_edge(u, v, f64::from(w));
+            total += f64::from(w);
+        }
+        let el = b.build();
+        prop_assert!((el.total_weight() - total).abs() < 1e-9);
+        // Canonical, strictly sorted, unique.
+        for w in el.edges().windows(2) {
+            let ka = ((w[0].u as u64) << 32) | w[0].v as u64;
+            let kb = ((w[1].u as u64) << 32) | w[1].v as u64;
+            prop_assert!(ka < kb);
+        }
+        for e in el.edges() {
+            prop_assert!(e.u <= e.v);
+        }
+    }
+
+    /// G(n, m) always delivers exactly m distinct loop-free edges.
+    #[test]
+    fn gnm_exact(n in 2usize..60, frac in 0.0f64..0.9, seed in 0u64..100) {
+        let max_m = n * (n - 1) / 2;
+        let m = ((max_m as f64) * frac) as usize;
+        let g = generate_gnm(n, m, seed);
+        prop_assert_eq!(g.num_edges(), m);
+        for e in g.edges() {
+            prop_assert!(e.u != e.v);
+            prop_assert!((e.v as usize) < n);
+        }
+    }
+
+    /// R-MAT stays within its vertex range and produces a simple graph in
+    /// clean mode.
+    #[test]
+    fn rmat_bounds(scale in 4u32..10, ef in 4usize..20, seed in 0u64..50) {
+        let cfg = RmatConfig { edge_factor: ef, ..RmatConfig::graph500(scale) };
+        let g = generate_rmat(&cfg, seed);
+        let n = 1usize << scale;
+        prop_assert_eq!(g.num_vertices(), n);
+        prop_assert!(g.num_edges() <= ef * n);
+        let mut seen = std::collections::HashSet::new();
+        for e in g.edges() {
+            prop_assert!((e.u as usize) < n && (e.v as usize) < n);
+            prop_assert!(e.u != e.v);
+            prop_assert!(seen.insert((e.u, e.v)));
+        }
+    }
+
+    /// LFR: ground truth is a valid partition of exactly n vertices into
+    /// non-empty communities, and the graph is simple.
+    #[test]
+    fn lfr_invariants(n in 200usize..800, mu in 0.05f64..0.6, seed in 0u64..20) {
+        let cfg = LfrConfig {
+            n,
+            avg_degree: 8.0,
+            max_degree: n / 4,
+            gamma: 2.5,
+            beta: 1.5,
+            mu,
+            min_community: 10,
+            max_community: n / 2,
+        };
+        let g = generate_lfr(&cfg, seed);
+        prop_assert_eq!(g.ground_truth.len(), n);
+        let k = g.num_communities;
+        let mut counts = vec![0usize; k];
+        for &c in &g.ground_truth {
+            prop_assert!((c as usize) < k);
+            counts[c as usize] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c > 0));
+        prop_assert_eq!(counts.iter().sum::<usize>(), n);
+        let mut seen = std::collections::HashSet::new();
+        for e in g.edges.edges() {
+            prop_assert!(e.u != e.v);
+            prop_assert!(seen.insert((e.u, e.v)));
+        }
+    }
+
+    /// Power-law samples respect their range for arbitrary parameters.
+    #[test]
+    fn powerlaw_range(exp in 1.0f64..4.0, lo in 1usize..20, span in 0usize..100, seed in 0u64..50) {
+        let hi = lo + span;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let x = powerlaw::sample(&mut rng, exp, lo, hi);
+            prop_assert!((lo..=hi).contains(&x));
+        }
+    }
+
+    /// Modulo partition: ownership, local indexing and counts are
+    /// mutually consistent for arbitrary n, p.
+    #[test]
+    fn partition_consistency(n in 0usize..500, p in 1usize..20) {
+        let part = ModuloPartition::new(n, p);
+        let total: usize = (0..p).map(|r| part.local_count(r)).sum();
+        prop_assert_eq!(total, n);
+        for v in 0..n as u32 {
+            let r = part.owner(v);
+            prop_assert!(r < p);
+            prop_assert_eq!(part.global(r, part.local_index(v)), v);
+        }
+    }
+}

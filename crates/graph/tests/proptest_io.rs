@@ -1,0 +1,60 @@
+//! Property-based I/O round-trips and traversal invariants.
+
+use louvain_graph::edgelist::EdgeListBuilder;
+use louvain_graph::io::{read_edge_list, write_edge_list};
+use louvain_graph::traversal::{bfs_distances, connected_components};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// write → read is lossless for arbitrary graphs (integer-ish weights
+    /// to avoid float-formatting questions).
+    #[test]
+    fn io_roundtrip(
+        n in 1usize..40,
+        edges in proptest::collection::vec((0u32..40, 0u32..40, 1u32..10), 0..80),
+    ) {
+        let mut b = EdgeListBuilder::new(40.max(n));
+        for (u, v, w) in edges {
+            b.add_edge(u, v, f64::from(w) / 2.0);
+        }
+        let el = b.build();
+        let mut buf = Vec::new();
+        write_edge_list(&el, &mut buf).unwrap();
+        let back = read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.num_vertices(), el.num_vertices());
+        prop_assert_eq!(back.num_edges(), el.num_edges());
+        for (a, b) in back.edges().iter().zip(el.edges()) {
+            prop_assert_eq!((a.u, a.v), (b.u, b.v));
+            prop_assert!((a.w - b.w).abs() < 1e-9);
+        }
+    }
+
+    /// Component sizes always partition the vertex set, and BFS distances
+    /// within a component are finite and consistent with component labels.
+    #[test]
+    fn components_partition_vertices(
+        n in 1usize..40,
+        edges in proptest::collection::vec((0u32..40, 0u32..40), 0..60),
+    ) {
+        let n = n.max(1);
+        let mut b = EdgeListBuilder::new(40);
+        for (u, v) in edges {
+            b.add_edge(u % 40, v % 40, 1.0);
+        }
+        let _ = n;
+        let g = b.build_csr();
+        let comps = connected_components(&g);
+        prop_assert_eq!(comps.sizes.iter().sum::<usize>(), g.num_vertices());
+        prop_assert_eq!(comps.count, comps.sizes.len());
+        // BFS from vertex 0 reaches exactly its component.
+        if g.num_vertices() > 0 {
+            let (dist, _, _) = bfs_distances(&g, 0);
+            for v in 0..g.num_vertices() as u32 {
+                let same = comps.label[v as usize] == comps.label[0];
+                prop_assert_eq!(dist[v as usize] != u32::MAX, same, "vertex {}", v);
+            }
+        }
+    }
+}

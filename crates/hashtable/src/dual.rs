@@ -1,0 +1,145 @@
+//! The two-table dynamic-graph representation (Section IV-A).
+//!
+//! The paper's second contribution is the pairing of two hash tables per
+//! rank: an immutable *In-Table* holding the graph structure (in-edges of
+//! local vertices) and a rebuilt-per-iteration *Out-Table* accumulating
+//! per-community weights, such that the whole graph can be "dynamically
+//! rewritten from scratch during each iteration of the outer loop...
+//! simply deleting the content of the input table and replacing it with
+//! the specular image of the output table".
+//!
+//! [`DualTable`] packages that lifecycle: `in_edges()` for scanning the
+//! structure, `out_mut()` for accumulation during a propagation phase,
+//! and [`DualTable::promote`] for the outer-loop rewrite (the Out-Table's
+//! content becomes the new In-Table via a caller-supplied relabeling, and
+//! both tables are reset for the next level).
+
+use crate::hashfn::{FibonacciHash, HashFn64};
+use crate::key::{pack_key, unpack_key};
+use crate::table::EdgeTable;
+
+/// An In/Out table pair with the outer-loop rewrite lifecycle.
+#[derive(Clone, Debug)]
+pub struct DualTable<H: HashFn64 = FibonacciHash> {
+    input: EdgeTable<H>,
+    output: EdgeTable<H>,
+}
+
+impl DualTable<FibonacciHash> {
+    /// Creates a pair sized for `expected` in-edges (Fibonacci hashing,
+    /// default load factor).
+    #[must_use]
+    pub fn new(expected: usize) -> Self {
+        Self {
+            input: EdgeTable::new(expected),
+            output: EdgeTable::new(expected),
+        }
+    }
+}
+
+impl<H: HashFn64> DualTable<H> {
+    /// The immutable In-Table.
+    #[must_use]
+    pub fn in_table(&self) -> &EdgeTable<H> {
+        &self.input
+    }
+
+    /// Mutable In-Table access for initial graph loading.
+    pub fn in_mut(&mut self) -> &mut EdgeTable<H> {
+        &mut self.input
+    }
+
+    /// The Out-Table.
+    #[must_use]
+    pub fn out_table(&self) -> &EdgeTable<H> {
+        &self.output
+    }
+
+    /// Mutable Out-Table access for a propagation phase.
+    pub fn out_mut(&mut self) -> &mut EdgeTable<H> {
+        &mut self.output
+    }
+
+    /// Resets the Out-Table for a new inner iteration, sized for the
+    /// In-Table's population.
+    pub fn begin_iteration(&mut self) {
+        let expected = self.input.len().max(8);
+        self.output.reset_for(expected);
+    }
+
+    /// The outer-loop rewrite: replaces the In-Table with the relabeled
+    /// image of the Out-Table and clears the Out-Table.
+    ///
+    /// `relabel` maps each Out-Table entry `(a, b)` to its new-id-space
+    /// key (or `None` to drop the entry). Weights of entries mapping to
+    /// the same new key accumulate — that is the super-edge aggregation
+    /// of Algorithm 5, executed locally.
+    pub fn promote<F>(&mut self, mut relabel: F)
+    where
+        F: FnMut(u32, u32) -> Option<(u32, u32)>,
+    {
+        let entries: Vec<(u64, f64)> = self.output.iter().collect();
+        self.input.reset_for(entries.len().max(8));
+        for (key, w) in entries {
+            let (a, b) = unpack_key(key);
+            if let Some((na, nb)) = relabel(a, b) {
+                self.input.accumulate(pack_key(na, nb), w);
+            }
+        }
+        self.output.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_load_propagate_promote() {
+        let mut t = DualTable::new(16);
+        // Load in-edges: a triangle 0-1-2 viewed from each endpoint.
+        for (u, v) in [(0u32, 1u32), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)] {
+            t.in_mut().accumulate(pack_key(u, v), 1.0);
+        }
+        assert_eq!(t.in_table().len(), 6);
+
+        // One propagation: everything lands in community 7.
+        t.begin_iteration();
+        for (key, w) in t.in_table().iter().collect::<Vec<_>>() {
+            let (v, _u) = unpack_key(key);
+            t.out_mut().accumulate(pack_key(v, 7), w);
+        }
+        // Each vertex has w_{v→7} = 2.
+        for v in 0..3u32 {
+            assert_eq!(t.out_table().get(pack_key(v, 7)), Some(2.0));
+        }
+
+        // Promote: all vertices collapse into supervertex 0 → a single
+        // self-loop accumulating all weight.
+        t.promote(|_a, _b| Some((0, 0)));
+        assert_eq!(t.in_table().len(), 1);
+        assert_eq!(t.in_table().get(pack_key(0, 0)), Some(6.0));
+        assert!(t.out_table().is_empty());
+    }
+
+    #[test]
+    fn promote_can_drop_entries() {
+        let mut t = DualTable::new(8);
+        t.out_mut().accumulate(pack_key(1, 2), 1.0);
+        t.out_mut().accumulate(pack_key(3, 4), 2.0);
+        t.promote(|a, _b| if a == 1 { Some((a, a)) } else { None });
+        assert_eq!(t.in_table().len(), 1);
+        assert_eq!(t.in_table().get(pack_key(1, 1)), Some(1.0));
+    }
+
+    #[test]
+    fn begin_iteration_clears_previous_accumulation() {
+        let mut t = DualTable::new(8);
+        t.in_mut().accumulate(pack_key(0, 1), 1.0);
+        t.begin_iteration();
+        t.out_mut().accumulate(pack_key(0, 9), 5.0);
+        t.begin_iteration();
+        assert!(t.out_table().is_empty());
+        assert_eq!(t.out_table().get(pack_key(0, 9)), None);
+    }
+}

@@ -1,0 +1,261 @@
+//! The four hash-function families compared in Section V-C1 of the paper.
+//!
+//! All functions map a 64-bit packed edge key to a bin index in `[0, m)`.
+//! The paper's conclusion — that Fibonacci hashing and linear congruential
+//! hashing load-balance far better than bitwise or concatenated hashing on
+//! R-MAT edge keys — is reproduced by `louvain-bench fig6`.
+//!
+//! The mapping to `[0, m)` uses the "multiply-shift" range reduction
+//! `(h as u128 * m as u128) >> 64`, which is the modern, division-free
+//! equivalent of the `⌊M/W · (x mod W)⌋` scaling in Equation 6 and works for
+//! arbitrary (non power-of-two) table sizes.
+
+/// A stateless hash function from 64-bit keys to bin indices.
+pub trait HashFn64: Clone + Send + Sync {
+    /// Hashes `key` into `[0, m)`. `m` must be non-zero.
+    fn bin(&self, key: u64, m: usize) -> usize;
+
+    /// Human-readable name used in benchmark output.
+    fn name(&self) -> &'static str;
+}
+
+/// Range reduction: scale a full-width 64-bit hash down to `[0, m)`.
+///
+/// Equivalent to Equation 6's `⌊M/W · x⌋` for `x` uniform in `[0, W)`.
+#[inline(always)]
+fn reduce(h: u64, m: usize) -> usize {
+    debug_assert!(m > 0, "table size must be non-zero");
+    ((h as u128 * m as u128) >> 64) as usize
+}
+
+/// Fibonacci hashing (Knuth; Equation 6 of the paper).
+///
+/// `H(x) = ⌊M/W · ((φ⁻¹ · W · x) mod W)⌋` with `W = 2^64`.  The constant
+/// `0x9E37_79B9_7F4A_7C15` is `⌊φ⁻¹ · 2^64⌋` (φ the golden ratio), so the
+/// wrapping multiply computes `(φ⁻¹ · W · x) mod W` exactly and [`reduce`]
+/// applies the `M/W` scaling.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FibonacciHash;
+
+/// `⌊φ⁻¹ · 2^64⌋` where φ is the golden ratio.
+pub const FIB_MULTIPLIER: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl HashFn64 for FibonacciHash {
+    #[inline(always)]
+    fn bin(&self, key: u64, m: usize) -> usize {
+        reduce(key.wrapping_mul(FIB_MULTIPLIER), m)
+    }
+
+    fn name(&self) -> &'static str {
+        "fibonacci"
+    }
+}
+
+/// Linear congruential hashing: `h = (a·x + c) mod 2^64`, then range-reduce.
+///
+/// Uses Knuth's MMIX multiplier. The paper found this competitive with
+/// Fibonacci hashing (Section V-C1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LcgHash {
+    /// Multiplier (odd). Default: Knuth's MMIX constant.
+    pub a: u64,
+    /// Additive constant. Default: MMIX increment.
+    pub c: u64,
+}
+
+impl Default for LcgHash {
+    fn default() -> Self {
+        Self {
+            a: 6_364_136_223_846_793_005,
+            c: 1_442_695_040_888_963_407,
+        }
+    }
+}
+
+impl HashFn64 for LcgHash {
+    #[inline(always)]
+    fn bin(&self, key: u64, m: usize) -> usize {
+        reduce(key.wrapping_mul(self.a).wrapping_add(self.c), m)
+    }
+
+    fn name(&self) -> &'static str {
+        "lcg"
+    }
+}
+
+/// Bitwise (xor-fold) hashing: fold the two key halves with shifts and XORs.
+///
+/// Cheap but structure-preserving — R-MAT keys share high/low bit patterns,
+/// so this clusters badly. Included as one of the rejected alternatives.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BitwiseHash;
+
+impl HashFn64 for BitwiseHash {
+    #[inline(always)]
+    fn bin(&self, key: u64, m: usize) -> usize {
+        let mut h = key;
+        h ^= h >> 33;
+        h ^= h << 21;
+        h ^= h >> 17;
+        // No multiply: the whole point of the comparison is that pure
+        // bit-mixing without diffusion across all 64 bits is weaker.
+        (h % m as u64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "bitwise"
+    }
+}
+
+/// Concatenated hashing: use the packed key directly, `bin = key mod m`.
+///
+/// This is the "concatenated hash" straw-man of Section V-C1: the packed
+/// `(t1 << k) | t2` key modulo the table size, which makes the bin depend
+/// almost entirely on the low identifier and load-balances poorly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConcatHash;
+
+impl HashFn64 for ConcatHash {
+    #[inline(always)]
+    fn bin(&self, key: u64, m: usize) -> usize {
+        (key % m as u64) as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "concat"
+    }
+}
+
+/// Runtime-selectable hash function (used by benchmarks and the binned
+/// analysis table, where the function is chosen from the command line).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HashKind {
+    /// [`FibonacciHash`]
+    Fibonacci,
+    /// [`LcgHash`] with default constants
+    Lcg,
+    /// [`BitwiseHash`]
+    Bitwise,
+    /// [`ConcatHash`]
+    Concat,
+}
+
+impl HashKind {
+    /// All four variants, in the order the paper discusses them.
+    pub const ALL: [HashKind; 4] = [
+        HashKind::Concat,
+        HashKind::Lcg,
+        HashKind::Bitwise,
+        HashKind::Fibonacci,
+    ];
+}
+
+impl HashFn64 for HashKind {
+    #[inline(always)]
+    fn bin(&self, key: u64, m: usize) -> usize {
+        match self {
+            HashKind::Fibonacci => FibonacciHash.bin(key, m),
+            HashKind::Lcg => LcgHash::default().bin(key, m),
+            HashKind::Bitwise => BitwiseHash.bin(key, m),
+            HashKind::Concat => ConcatHash.bin(key, m),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            HashKind::Fibonacci => "fibonacci",
+            HashKind::Lcg => "lcg",
+            HashKind::Bitwise => "bitwise",
+            HashKind::Concat => "concat",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_range<H: HashFn64>(h: &H) {
+        for m in [1usize, 2, 3, 7, 64, 1000, 1 << 20] {
+            for key in [0u64, 1, 2, u64::MAX, 0xDEAD_BEEF, 1 << 63] {
+                let b = h.bin(key, m);
+                assert!(b < m, "{}: bin {b} out of range for m={m}", h.name());
+            }
+        }
+    }
+
+    #[test]
+    fn all_functions_stay_in_range() {
+        in_range(&FibonacciHash);
+        in_range(&LcgHash::default());
+        in_range(&BitwiseHash);
+        in_range(&ConcatHash);
+        for k in HashKind::ALL {
+            in_range(&k);
+        }
+    }
+
+    #[test]
+    fn fibonacci_is_deterministic() {
+        let h = FibonacciHash;
+        assert_eq!(h.bin(42, 1024), h.bin(42, 1024));
+    }
+
+    #[test]
+    fn fibonacci_spreads_sequential_keys() {
+        // The defining property of Fibonacci hashing: consecutive keys land
+        // far apart. With m=1024, consecutive keys should not cluster into
+        // adjacent bins.
+        let h = FibonacciHash;
+        let m = 1024;
+        let bins: Vec<usize> = (0..16u64).map(|k| h.bin(k, m)).collect();
+        let mut sorted = bins.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 16, "collisions among 16 keys in 1024 bins");
+        // No two consecutive keys in adjacent bins.
+        for w in bins.windows(2) {
+            assert!(w[0].abs_diff(w[1]) > 1);
+        }
+    }
+
+    #[test]
+    fn concat_preserves_low_bits() {
+        // The straw-man behaviour: keys differing only above m collide.
+        let h = ConcatHash;
+        assert_eq!(h.bin(5, 100), 5);
+        assert_eq!(h.bin(105, 100), 5);
+    }
+
+    #[test]
+    fn fibonacci_balances_better_than_concat_on_structured_keys() {
+        // Keys shaped like packed edges: (u << 32) | v where only a few
+        // distinct low identifiers occur — exactly the structure that makes
+        // the concatenated hash (key mod m) collapse onto few bins.
+        let m = 256;
+        let keys: Vec<u64> = (0..4096u64).map(|i| ((i / 4) << 32) | (i % 4)).collect();
+        let occupancy = |h: &dyn Fn(u64) -> usize| {
+            let mut c = vec![0usize; m];
+            for &k in &keys {
+                c[h(k)] += 1;
+            }
+            *c.iter().max().unwrap()
+        };
+        let fib_max = occupancy(&|k| FibonacciHash.bin(k, m));
+        let concat_max = occupancy(&|k| ConcatHash.bin(k, m));
+        assert!(
+            fib_max < concat_max,
+            "fib max bin {fib_max} should beat concat {concat_max}"
+        );
+    }
+
+    #[test]
+    fn hashkind_matches_concrete_impls() {
+        for key in [0u64, 17, u64::MAX / 3] {
+            assert_eq!(HashKind::Fibonacci.bin(key, 777), FibonacciHash.bin(key, 777));
+            assert_eq!(HashKind::Lcg.bin(key, 777), LcgHash::default().bin(key, 777));
+            assert_eq!(HashKind::Bitwise.bin(key, 777), BitwiseHash.bin(key, 777));
+            assert_eq!(HashKind::Concat.bin(key, 777), ConcatHash.bin(key, 777));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Statistics for the hash-behavior analysis (Figure 6, Table II).
+//!
+//! The paper's metrics: *number of hashed entries* (per thread slice),
+//! *average bin length* (over non-empty bins only — footnote 3), and
+//! *maximum bin length*.
+
+/// Bin-length statistics of a bucketed table (see
+/// [`crate::binned::BinnedTable`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BinLengthStats {
+    /// Total entries stored.
+    pub entries: usize,
+    /// Number of bins with at least one entry.
+    pub nonempty_bins: usize,
+    /// Average length over non-empty bins (footnote 3 of the paper).
+    pub avg_bin_length: f64,
+    /// Length of the longest bin.
+    pub max_bin_length: usize,
+}
+
+/// Occupancy statistics of an open-addressing table, including per-slice
+/// entry counts, where a *slice* models the portion of a node's table
+/// assigned to one thread (Figure 6a).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OccupancyStats {
+    /// Entries assigned to each of the `slices` contiguous slot ranges.
+    pub entries_per_slice: Vec<usize>,
+    /// Number of maximal runs of occupied slots (probe clusters).
+    pub clusters: usize,
+    /// Average length of the probe clusters (non-empty runs only).
+    pub avg_cluster_length: f64,
+    /// Longest probe cluster.
+    pub max_cluster_length: usize,
+}
+
+impl OccupancyStats {
+    /// Computes stats from a raw slot array, where `empty` marks free slots.
+    #[must_use]
+    pub fn from_slots(slots: &[u64], empty: u64, slices: usize) -> Self {
+        let slices = slices.max(1);
+        let n = slots.len();
+        let mut entries_per_slice = vec![0usize; slices];
+        for (i, &k) in slots.iter().enumerate() {
+            if k != empty {
+                // Contiguous slice partition of the slot array.
+                let s = i * slices / n.max(1);
+                entries_per_slice[s.min(slices - 1)] += 1;
+            }
+        }
+        let mut clusters = 0usize;
+        let mut max_cluster_length = 0usize;
+        let mut total_cluster_len = 0usize;
+        let mut run = 0usize;
+        for &k in slots {
+            if k != empty {
+                run += 1;
+            } else if run > 0 {
+                clusters += 1;
+                total_cluster_len += run;
+                max_cluster_length = max_cluster_length.max(run);
+                run = 0;
+            }
+        }
+        if run > 0 {
+            clusters += 1;
+            total_cluster_len += run;
+            max_cluster_length = max_cluster_length.max(run);
+        }
+        let avg_cluster_length = if clusters == 0 {
+            0.0
+        } else {
+            total_cluster_len as f64 / clusters as f64
+        };
+        Self {
+            entries_per_slice,
+            clusters,
+            avg_cluster_length,
+            max_cluster_length,
+        }
+    }
+
+    /// Total entries across all slices.
+    #[must_use]
+    pub fn total_entries(&self) -> usize {
+        self.entries_per_slice.iter().sum()
+    }
+
+    /// Imbalance = max slice load / mean slice load (1.0 = perfect).
+    #[must_use]
+    pub fn slice_imbalance(&self) -> f64 {
+        let total = self.total_entries();
+        if total == 0 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.entries_per_slice.len() as f64;
+        let max = *self.entries_per_slice.iter().max().unwrap_or(&0);
+        max as f64 / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E: u64 = u64::MAX;
+
+    #[test]
+    fn empty_table_stats() {
+        let s = OccupancyStats::from_slots(&[E, E, E, E], E, 2);
+        assert_eq!(s.total_entries(), 0);
+        assert_eq!(s.clusters, 0);
+        assert_eq!(s.avg_cluster_length, 0.0);
+        assert_eq!(s.max_cluster_length, 0);
+        assert_eq!(s.slice_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn clusters_counted_correctly() {
+        // Two clusters: lengths 2 and 3.
+        let slots = [1, 2, E, 3, 4, 5, E, E];
+        let s = OccupancyStats::from_slots(&slots, E, 1);
+        assert_eq!(s.clusters, 2);
+        assert_eq!(s.max_cluster_length, 3);
+        assert!((s.avg_cluster_length - 2.5).abs() < 1e-12);
+        assert_eq!(s.total_entries(), 5);
+    }
+
+    #[test]
+    fn trailing_cluster_counted() {
+        let slots = [E, 1, 1, 1];
+        let s = OccupancyStats::from_slots(&slots, E, 1);
+        assert_eq!(s.clusters, 1);
+        assert_eq!(s.max_cluster_length, 3);
+    }
+
+    #[test]
+    fn slice_partition_covers_all_entries() {
+        let slots: Vec<u64> = (0..100).map(|i| if i % 3 == 0 { E } else { i }).collect();
+        let s = OccupancyStats::from_slots(&slots, E, 7);
+        assert_eq!(s.entries_per_slice.len(), 7);
+        assert_eq!(
+            s.total_entries(),
+            slots.iter().filter(|&&k| k != E).count()
+        );
+    }
+
+    #[test]
+    fn imbalance_detects_skew() {
+        // All entries in the first half.
+        let mut slots = vec![E; 100];
+        for s in slots.iter_mut().take(50) {
+            *s = 1;
+        }
+        let s = OccupancyStats::from_slots(&slots, E, 2);
+        assert_eq!(s.entries_per_slice, vec![50, 0]);
+        assert!((s.slice_imbalance() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,77 @@
+//! EdgeTable occupancy/probe behavior under load — the observable side of
+//! the linear-probing design.
+
+use louvain_hash::hashfn::FibonacciHash;
+use louvain_hash::key::pack_key;
+use louvain_hash::table::EdgeTable;
+
+#[test]
+fn occupancy_stats_consistent_with_len() {
+    let mut t = EdgeTable::new(10_000);
+    for i in 0..10_000u32 {
+        t.accumulate(pack_key(i, i.wrapping_mul(13)), 1.0);
+    }
+    let s = t.occupancy_stats(32);
+    assert_eq!(s.total_entries(), t.len());
+    assert_eq!(s.entries_per_slice.len(), 32);
+    assert!(s.clusters > 0);
+    assert!(s.avg_cluster_length >= 1.0);
+    assert!(s.max_cluster_length >= s.avg_cluster_length as usize);
+}
+
+#[test]
+fn probe_length_grows_with_load_factor() {
+    let fill = |load: f64| -> f64 {
+        let mut t = EdgeTable::with_hash_and_load(1 << 14, FibonacciHash, load);
+        // Fill to exactly the allowed load (no growth triggered), with
+        // pseudo-random keys: sequential keys would be spread perfectly
+        // by the golden-ratio sequence and never collide.
+        let n = ((t.capacity() as f64) * load * 0.95) as u64;
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            t.accumulate(x & 0x7FFF_FFFF_FFFF_FFFF, 1.0);
+        }
+        t.mean_probe_length()
+    };
+    let sparse = fill(0.125);
+    let dense = fill(0.75);
+    assert!(
+        dense > sparse,
+        "probe length must grow with load: {sparse} vs {dense}"
+    );
+    assert!(sparse < 1.2, "1/8 load should probe ~1: {sparse}");
+}
+
+#[test]
+fn fibonacci_slices_balanced_on_sequential_keys() {
+    // Sequential keys are the adversarial input for identity-like hashes;
+    // Fibonacci spreads them uniformly across slices.
+    let mut t = EdgeTable::new(50_000);
+    for i in 0..50_000u32 {
+        t.accumulate(pack_key(0, i), 1.0);
+    }
+    let s = t.occupancy_stats(16);
+    assert!(
+        s.slice_imbalance() < 1.15,
+        "imbalance {} too high",
+        s.slice_imbalance()
+    );
+}
+
+#[test]
+fn reset_for_then_reuse_many_cycles() {
+    // The outer-loop lifecycle: shrink/grow across levels without leaks.
+    let mut t = EdgeTable::new(8);
+    for level in 0..20usize {
+        let entries = 1usize << (20usize.saturating_sub(level)).clamp(3, 12);
+        t.reset_for(entries);
+        for i in 0..entries as u32 {
+            t.accumulate(pack_key(i, level as u32), 1.0);
+        }
+        assert_eq!(t.len(), entries);
+        assert!(t.load_factor() <= 0.26, "level {level}: {}", t.load_factor());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests: the EdgeTable must behave exactly like a
+//! `HashMap<u64, f64>` under arbitrary accumulate sequences, for every
+//! hash function and load factor, including reset cycles.
+
+use louvain_hash::binned::BinnedTable;
+use louvain_hash::hashfn::{FibonacciHash, HashFn64, HashKind};
+use louvain_hash::table::EdgeTable;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Accumulate(u32, u32, u8),
+    Get(u32, u32),
+    Reset,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        8 => (0u32..64, 0u32..64, 1u8..10).prop_map(|(a, b, w)| Op::Accumulate(a, b, w)),
+        3 => (0u32..64, 0u32..64).prop_map(|(a, b)| Op::Get(a, b)),
+        1 => Just(Op::Reset),
+    ]
+}
+
+fn key(a: u32, b: u32) -> u64 {
+    louvain_hash::key::pack_key(a, b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn edge_table_matches_hashmap_model(
+        ops in proptest::collection::vec(arb_op(), 1..300),
+        kind in prop_oneof![
+            Just(HashKind::Fibonacci),
+            Just(HashKind::Lcg),
+            Just(HashKind::Bitwise),
+            Just(HashKind::Concat)
+        ],
+        load in 0.1f64..0.8,
+    ) {
+        let mut table = EdgeTable::with_hash_and_load(4, kind, load);
+        let mut model: HashMap<u64, f64> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Accumulate(a, b, w) => {
+                    let fresh = table.accumulate(key(a, b), f64::from(w));
+                    let was_absent = !model.contains_key(&key(a, b));
+                    prop_assert_eq!(fresh, was_absent);
+                    *model.entry(key(a, b)).or_insert(0.0) += f64::from(w);
+                }
+                Op::Get(a, b) => {
+                    prop_assert_eq!(table.get(key(a, b)), model.get(&key(a, b)).copied());
+                }
+                Op::Reset => {
+                    table.reset();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(table.len(), model.len());
+        }
+        // Final full scan agrees with the model.
+        let mut scanned: Vec<(u64, f64)> = table.iter().collect();
+        scanned.sort_by_key(|&(k, _)| k);
+        let mut expect: Vec<(u64, f64)> = model.into_iter().collect();
+        expect.sort_by_key(|&(k, _)| k);
+        prop_assert_eq!(scanned, expect);
+    }
+
+    #[test]
+    fn binned_table_matches_hashmap_model(
+        ops in proptest::collection::vec((0u32..32, 0u32..32, 1u8..5), 1..200),
+        bins in 1usize..64,
+    ) {
+        let mut table = BinnedTable::new(bins, FibonacciHash);
+        let mut model: HashMap<u64, f64> = HashMap::new();
+        for (a, b, w) in ops {
+            table.accumulate(key(a, b), f64::from(w));
+            *model.entry(key(a, b)).or_insert(0.0) += f64::from(w);
+        }
+        prop_assert_eq!(table.len(), model.len());
+        for (&k, &v) in &model {
+            prop_assert_eq!(table.get(k), Some(v));
+        }
+        // Stats consistency: entries across bins equal the model size.
+        let st = table.bin_stats();
+        prop_assert_eq!(st.entries, model.len());
+        prop_assert!(st.max_bin_length >= st.entries.div_ceil(bins));
+    }
+
+    #[test]
+    fn all_hash_functions_stay_in_range(keys in proptest::collection::vec(any::<u64>(), 1..100), m in 1usize..1_000_000) {
+        for kind in HashKind::ALL {
+            for &k in &keys {
+                prop_assert!(kind.bin(k, m) < m);
+            }
+        }
+    }
+}

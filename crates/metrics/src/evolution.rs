@@ -1,0 +1,33 @@
+//! Evolution ratio (Figure 4b of the paper).
+//!
+//! The ratio between the number of vertices of the community (super) graph
+//! and the original graph at a given hierarchy level — lower is better
+//! (faster coarsening).
+
+/// `communities / vertices`, the per-level evolution ratio.
+///
+/// Returns 0 for an empty graph.
+#[must_use]
+pub fn evolution_ratio(num_communities: usize, num_vertices: usize) -> f64 {
+    if num_vertices == 0 {
+        0.0
+    } else {
+        num_communities as f64 / num_vertices as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ratio() {
+        assert_eq!(evolution_ratio(10, 100), 0.1);
+        assert_eq!(evolution_ratio(100, 100), 1.0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(evolution_ratio(0, 0), 0.0);
+    }
+}

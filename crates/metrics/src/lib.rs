@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Community-quality and partition-similarity metrics.
+//!
+//! Implements every metric of Table II of Que et al. (IPDPS 2015):
+//!
+//! * **Community detection quality** — Newman modularity (Equation 3),
+//!   evolution ratio, community-size distributions ([`modularity`],
+//!   [`evolution`], [`size_dist`]).
+//! * **Partition similarity** (Table III) — NMI (information theory),
+//!   F-measure and NVD (cluster matching), RI / ARI / JI (pair counting),
+//!   all in [`similarity`].
+//!
+//! The paper used the external `ParallelComMetric` code for these; here they
+//! are implemented from scratch and property-tested (e.g. every metric is
+//! exact on identical partitions, pair counts are consistent with brute
+//! force on small `n`).
+
+pub mod evolution;
+pub mod modularity;
+pub mod partition;
+pub mod quality;
+pub mod report;
+pub mod similarity;
+pub mod size_dist;
+
+pub use evolution::evolution_ratio;
+pub use modularity::{community_aggregates, modularity, CommunityAggregates};
+pub use partition::Partition;
+pub use similarity::{
+    adjusted_rand_index, f_measure, jaccard_index, nmi, normalized_van_dongen, rand_index,
+    SimilarityReport,
+};
+pub use quality::{conductance, coverage, performance, variation_of_information};
+pub use report::{CommunitySummary, PartitionReport};
+pub use size_dist::{log_binned_histogram, SizeDistribution};

@@ -1,0 +1,196 @@
+//! Additional community-quality measures beyond modularity.
+//!
+//! These complement Table II's quality column when analyzing detected
+//! communities: *coverage* (fraction of edge weight inside communities),
+//! *performance* (fraction of vertex pairs classified correctly by the
+//! partition), per-community *conductance*, and the *variation of
+//! information* distance between partitions (an information-theoretic
+//! companion to NMI with metric properties).
+
+use crate::modularity::community_aggregates;
+use crate::partition::Partition;
+use louvain_graph::csr::CsrGraph;
+
+/// Coverage: `Σ_c Σ_in^c / 2m` — the fraction of edge weight that is
+/// intra-community. 1.0 for the one-community partition.
+#[must_use]
+pub fn coverage(g: &CsrGraph, p: &Partition) -> f64 {
+    let s = g.total_arc_weight();
+    if s <= 0.0 {
+        return 0.0;
+    }
+    let agg = community_aggregates(g, p);
+    agg.internal.iter().sum::<f64>() / s
+}
+
+/// Performance: the fraction of vertex pairs that are either connected
+/// and co-clustered or non-connected and separated (unweighted; counts
+/// simple adjacency).
+#[must_use]
+pub fn performance(g: &CsrGraph, p: &Partition) -> f64 {
+    let n = g.num_vertices();
+    if n < 2 {
+        return 1.0;
+    }
+    // Intra-community edges (unweighted, u < v) and community sizes give
+    // a closed form: good pairs = intra_edges + (pairs_apart - inter_edges).
+    let mut intra_edges = 0u64;
+    let mut inter_edges = 0u64;
+    for u in 0..n as u32 {
+        for (v, _) in g.neighbors(u) {
+            if v > u {
+                if p.community(u) == p.community(v) {
+                    intra_edges += 1;
+                } else {
+                    inter_edges += 1;
+                }
+            }
+        }
+    }
+    let total_pairs = (n as u64) * (n as u64 - 1) / 2;
+    let same_pairs: u64 = p
+        .sizes()
+        .iter()
+        .map(|&s| (s as u64) * (s as u64 - 1) / 2)
+        .sum();
+    let apart_pairs = total_pairs - same_pairs;
+    (intra_edges + (apart_pairs - inter_edges)) as f64 / total_pairs as f64
+}
+
+/// Conductance of each community: cut weight / min(vol, 2m − vol).
+/// Lower is better; empty or whole-graph communities get 0.
+#[must_use]
+pub fn conductance(g: &CsrGraph, p: &Partition) -> Vec<f64> {
+    let s = g.total_arc_weight();
+    let agg = community_aggregates(g, p);
+    (0..p.num_communities())
+        .map(|c| {
+            let vol = agg.total[c];
+            let cut = vol - agg.internal[c];
+            let denom = vol.min(s - vol);
+            if denom <= 0.0 {
+                0.0
+            } else {
+                cut / denom
+            }
+        })
+        .collect()
+}
+
+/// Variation of information `VI(X, Y) = H(X) + H(Y) − 2 I(X, Y)` in nats.
+/// A true metric on partitions; 0 iff identical.
+#[must_use]
+pub fn variation_of_information(x: &Partition, y: &Partition) -> f64 {
+    assert_eq!(
+        x.num_vertices(),
+        y.num_vertices(),
+        "partitions must cover the same vertex set"
+    );
+    let n = x.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mut joint: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut rx = vec![0u64; x.num_communities()];
+    let mut ry = vec![0u64; y.num_communities()];
+    for v in 0..n as u32 {
+        let (a, b) = (x.community(v), y.community(v));
+        *joint.entry(((a as u64) << 32) | b as u64).or_insert(0) += 1;
+        rx[a as usize] += 1;
+        ry[b as usize] += 1;
+    }
+    let h = |counts: &[u64]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let hx = h(&rx);
+    let hy = h(&ry);
+    let mut mi = 0.0;
+    for (&key, &c) in &joint {
+        let (a, b) = ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize);
+        let pij = c as f64 / nf;
+        mi += pij * (nf * c as f64 / (rx[a] as f64 * ry[b] as f64)).ln();
+    }
+    (hx + hy - 2.0 * mi).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use louvain_graph::edgelist::EdgeListBuilder;
+
+    fn two_triangles_bridge() -> CsrGraph {
+        let mut b = EdgeListBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            b.add_edge(u, v, 1.0);
+        }
+        b.build_csr()
+    }
+
+    #[test]
+    fn coverage_extremes() {
+        let g = two_triangles_bridge();
+        let one = Partition::from_labels(&[0; 6]);
+        assert!((coverage(&g, &one) - 1.0).abs() < 1e-12);
+        let singles = Partition::singletons(6);
+        assert_eq!(coverage(&g, &singles), 0.0);
+        // Two communities: 6 of 7 edges internal => 12/14 arc weight.
+        let two = Partition::from_labels(&[0, 0, 0, 1, 1, 1]);
+        assert!((coverage(&g, &two) - 12.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn performance_of_good_partition_is_high() {
+        let g = two_triangles_bridge();
+        let two = Partition::from_labels(&[0, 0, 0, 1, 1, 1]);
+        let p2 = performance(&g, &two);
+        // good = 6 intra edges + (9 apart pairs - 1 inter edge) = 14 of 15.
+        assert!((p2 - 14.0 / 15.0).abs() < 1e-12);
+        let singles = performance(&g, &Partition::singletons(6));
+        assert!(p2 > singles);
+    }
+
+    #[test]
+    fn conductance_of_clean_cut() {
+        let g = two_triangles_bridge();
+        let two = Partition::from_labels(&[0, 0, 0, 1, 1, 1]);
+        let c = conductance(&g, &two);
+        // Each community: vol 7, cut 1 => 1/7.
+        assert_eq!(c.len(), 2);
+        for x in c {
+            assert!((x - 1.0 / 7.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vi_is_a_metric_like_distance() {
+        let a = Partition::from_labels(&[0, 0, 1, 1, 2, 2]);
+        let b = Partition::from_labels(&[0, 0, 0, 1, 1, 1]);
+        let c = Partition::from_labels(&[0, 1, 2, 3, 4, 5]);
+        assert_eq!(variation_of_information(&a, &a.clone()), 0.0);
+        let ab = variation_of_information(&a, &b);
+        let ba = variation_of_information(&b, &a);
+        assert!((ab - ba).abs() < 1e-12, "symmetry");
+        assert!(ab > 0.0);
+        // Triangle inequality on a sample.
+        let ac = variation_of_information(&a, &c);
+        let bc = variation_of_information(&b, &c);
+        assert!(ac <= ab + bc + 1e-12);
+        // VI bounded by ln(n).
+        assert!(ac <= (6.0f64).ln() * 2.0);
+    }
+
+    #[test]
+    fn vi_relabel_invariant() {
+        let a = Partition::from_labels(&[0, 0, 1, 1]);
+        let b = Partition::from_labels(&[9, 9, 4, 4]);
+        assert!(variation_of_information(&a, &b).abs() < 1e-12);
+    }
+}

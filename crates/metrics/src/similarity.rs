@@ -1,0 +1,351 @@
+//! Partition-similarity metrics (Table III of the paper).
+//!
+//! Three families, as the paper categorizes them:
+//!
+//! * **information theory** — NMI (normalized mutual information, with the
+//!   arithmetic-mean normalization `2I / (H_x + H_y)`);
+//! * **cluster matching** — clustering F-measure and the normalized Van
+//!   Dongen metric NVD;
+//! * **pair counting** — Rand index (RI), adjusted Rand index (ARI) and
+//!   Jaccard index (JI).
+//!
+//! Identical partitions give NVD = 0 and all other metrics = 1 (footnote 1
+//! of the paper).
+
+use crate::partition::Partition;
+use std::collections::HashMap;
+
+/// Sparse contingency table between two partitions of the same vertex set.
+struct Contingency {
+    n: usize,
+    /// `(x_label, y_label) -> count`, keys packed into u64.
+    cells: HashMap<u64, u64>,
+    rows: Vec<u64>,
+    cols: Vec<u64>,
+}
+
+impl Contingency {
+    fn new(x: &Partition, y: &Partition) -> Self {
+        assert_eq!(
+            x.num_vertices(),
+            y.num_vertices(),
+            "partitions must cover the same vertex set"
+        );
+        let n = x.num_vertices();
+        let mut cells: HashMap<u64, u64> = HashMap::new();
+        let mut rows = vec![0u64; x.num_communities()];
+        let mut cols = vec![0u64; y.num_communities()];
+        for v in 0..n as u32 {
+            let (a, b) = (x.community(v), y.community(v));
+            *cells.entry(((a as u64) << 32) | b as u64).or_insert(0) += 1;
+            rows[a as usize] += 1;
+            cols[b as usize] += 1;
+        }
+        Self { n, cells, rows, cols }
+    }
+}
+
+#[inline]
+fn choose2(x: u64) -> f64 {
+    (x as f64) * (x as f64 - 1.0) / 2.0
+}
+
+/// Pair counts: `(s11, s_x, s_y, total)` where `s11` = pairs together in
+/// both partitions, `s_x`/`s_y` = pairs together in x / in y, `total` =
+/// C(n, 2).
+fn pair_counts(c: &Contingency) -> (f64, f64, f64, f64) {
+    let s11: f64 = c.cells.values().map(|&v| choose2(v)).sum();
+    let sx: f64 = c.rows.iter().map(|&v| choose2(v)).sum();
+    let sy: f64 = c.cols.iter().map(|&v| choose2(v)).sum();
+    (s11, sx, sy, choose2(c.n as u64))
+}
+
+/// Rand index: fraction of vertex pairs on which the partitions agree.
+#[must_use]
+pub fn rand_index(x: &Partition, y: &Partition) -> f64 {
+    let c = Contingency::new(x, y);
+    let (s11, sx, sy, total) = pair_counts(&c);
+    if total == 0.0 {
+        return 1.0;
+    }
+    // agreements = together-in-both + apart-in-both.
+    (total + 2.0 * s11 - sx - sy) / total
+}
+
+/// Adjusted Rand index (chance-corrected; 1 = identical, ~0 = independent).
+#[must_use]
+pub fn adjusted_rand_index(x: &Partition, y: &Partition) -> f64 {
+    let c = Contingency::new(x, y);
+    let (s11, sx, sy, total) = pair_counts(&c);
+    if total == 0.0 {
+        return 1.0;
+    }
+    let expected = sx * sy / total;
+    let max = 0.5 * (sx + sy);
+    if (max - expected).abs() < 1e-12 {
+        // Degenerate (e.g. both all-singletons or both one cluster).
+        return 1.0;
+    }
+    (s11 - expected) / (max - expected)
+}
+
+/// Jaccard index over co-clustered pairs.
+#[must_use]
+pub fn jaccard_index(x: &Partition, y: &Partition) -> f64 {
+    let c = Contingency::new(x, y);
+    let (s11, sx, sy, _) = pair_counts(&c);
+    let denom = sx + sy - s11;
+    if denom <= 0.0 {
+        return 1.0; // no co-clustered pairs anywhere: identical (trivially)
+    }
+    s11 / denom
+}
+
+/// Normalized mutual information, `2·I(X;Y) / (H(X) + H(Y))`.
+#[must_use]
+pub fn nmi(x: &Partition, y: &Partition) -> f64 {
+    let c = Contingency::new(x, y);
+    if c.n == 0 {
+        return 1.0;
+    }
+    let n = c.n as f64;
+    let hx: f64 = entropy(&c.rows, n);
+    let hy: f64 = entropy(&c.cols, n);
+    if hx == 0.0 && hy == 0.0 {
+        return 1.0; // both trivial single-cluster partitions
+    }
+    let mut mi = 0.0;
+    for (&key, &count) in &c.cells {
+        let (a, b) = ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize);
+        let nij = count as f64;
+        if nij > 0.0 {
+            let pij = nij / n;
+            mi += pij * (n * nij / (c.rows[a] as f64 * c.cols[b] as f64)).ln();
+        }
+    }
+    (2.0 * mi / (hx + hy)).clamp(0.0, 1.0)
+}
+
+fn entropy(counts: &[u64], n: f64) -> f64 {
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Clustering F-measure: for each reference community (in `x`), the best
+/// F1 against any community of `y`, weighted by community size.
+#[must_use]
+pub fn f_measure(x: &Partition, y: &Partition) -> f64 {
+    let c = Contingency::new(x, y);
+    if c.n == 0 {
+        return 1.0;
+    }
+    // best F1 per row.
+    let mut best = vec![0.0f64; c.rows.len()];
+    for (&key, &count) in &c.cells {
+        let (a, b) = ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize);
+        let f1 = 2.0 * count as f64 / (c.rows[a] as f64 + c.cols[b] as f64);
+        if f1 > best[a] {
+            best[a] = f1;
+        }
+    }
+    c.rows
+        .iter()
+        .zip(&best)
+        .map(|(&r, &f)| r as f64 / c.n as f64 * f)
+        .sum()
+}
+
+/// Normalized Van Dongen metric:
+/// `NVD = 1 − (Σ_i max_j n_ij + Σ_j max_i n_ij) / 2n`.
+///
+/// 0 = identical partitions; larger = more different (the paper reports
+/// values close to 0).
+#[must_use]
+pub fn normalized_van_dongen(x: &Partition, y: &Partition) -> f64 {
+    let c = Contingency::new(x, y);
+    if c.n == 0 {
+        return 0.0;
+    }
+    let mut row_max = vec![0u64; c.rows.len()];
+    let mut col_max = vec![0u64; c.cols.len()];
+    for (&key, &count) in &c.cells {
+        let (a, b) = ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize);
+        row_max[a] = row_max[a].max(count);
+        col_max[b] = col_max[b].max(count);
+    }
+    let s: u64 = row_max.iter().sum::<u64>() + col_max.iter().sum::<u64>();
+    1.0 - s as f64 / (2.0 * c.n as f64)
+}
+
+/// All six Table-III metrics computed in one pass-friendly bundle.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimilarityReport {
+    /// Normalized mutual information.
+    pub nmi: f64,
+    /// Clustering F-measure.
+    pub f_measure: f64,
+    /// Normalized Van Dongen (0 = identical).
+    pub nvd: f64,
+    /// Rand index.
+    pub rand: f64,
+    /// Adjusted Rand index.
+    pub adjusted_rand: f64,
+    /// Jaccard index.
+    pub jaccard: f64,
+}
+
+impl SimilarityReport {
+    /// Computes all metrics between `x` (reference) and `y`.
+    #[must_use]
+    pub fn compute(x: &Partition, y: &Partition) -> Self {
+        Self {
+            nmi: nmi(x, y),
+            f_measure: f_measure(x, y),
+            nvd: normalized_van_dongen(x, y),
+            rand: rand_index(x, y),
+            adjusted_rand: adjusted_rand_index(x, y),
+            jaccard: jaccard_index(x, y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(labels: &[u32]) -> Partition {
+        Partition::from_labels(labels)
+    }
+
+    #[test]
+    fn identical_partitions_are_perfect() {
+        let x = p(&[0, 0, 1, 1, 2, 2, 2]);
+        let r = SimilarityReport::compute(&x, &x.clone());
+        assert!((r.nmi - 1.0).abs() < 1e-12);
+        assert!((r.f_measure - 1.0).abs() < 1e-12);
+        assert!(r.nvd.abs() < 1e-12);
+        assert!((r.rand - 1.0).abs() < 1e-12);
+        assert!((r.adjusted_rand - 1.0).abs() < 1e-12);
+        assert!((r.jaccard - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeled_partitions_are_identical() {
+        let x = p(&[0, 0, 1, 1, 2]);
+        let y = p(&[5, 5, 9, 9, 1]);
+        let r = SimilarityReport::compute(&x, &y);
+        assert!((r.nmi - 1.0).abs() < 1e-12);
+        assert!(r.nvd.abs() < 1e-12);
+        assert!((r.adjusted_rand - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rand_index_brute_force_small() {
+        let x = p(&[0, 0, 1, 1, 2]);
+        let y = p(&[0, 1, 1, 1, 2]);
+        // Brute force over the 10 pairs.
+        let n = 5u32;
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        let mut s11 = 0usize;
+        let mut s_any = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += 1;
+                let same_x = x.community(i) == x.community(j);
+                let same_y = y.community(i) == y.community(j);
+                if same_x == same_y {
+                    agree += 1;
+                }
+                if same_x && same_y {
+                    s11 += 1;
+                }
+                if same_x || same_y {
+                    s_any += 1;
+                }
+            }
+        }
+        let ri = agree as f64 / total as f64;
+        assert!((rand_index(&x, &y) - ri).abs() < 1e-12);
+        let ji = s11 as f64 / s_any as f64;
+        assert!((jaccard_index(&x, &y) - ji).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_near_zero_for_independent_partitions() {
+        // Two random-ish partitions of 1000 vertices into 10 groups by
+        // unrelated keys.
+        let x_labels: Vec<u32> = (0..1000u32).map(|v| v % 10).collect();
+        let y_labels: Vec<u32> = (0..1000u32).map(|v| (v / 100) % 10).collect();
+        let a = adjusted_rand_index(&p(&x_labels), &p(&y_labels));
+        assert!(a.abs() < 0.05, "ARI {a} should be ~0 for independent");
+        // RI is NOT chance-corrected so it stays high.
+        assert!(rand_index(&p(&x_labels), &p(&y_labels)) > 0.7);
+    }
+
+    #[test]
+    fn nmi_zero_for_independent_uniform() {
+        let x_labels: Vec<u32> = (0..10_000u32).map(|v| v % 2).collect();
+        let y_labels: Vec<u32> = (0..10_000u32).map(|v| (v / 2) % 2).collect();
+        let s = nmi(&p(&x_labels), &p(&y_labels));
+        assert!(s < 0.01, "NMI {s} should vanish");
+    }
+
+    #[test]
+    fn degenerate_single_cluster_cases() {
+        let one = p(&[0, 0, 0, 0]);
+        let singles = p(&[0, 1, 2, 3]);
+        // one vs one: identical.
+        assert_eq!(nmi(&one, &one.clone()), 1.0);
+        assert_eq!(adjusted_rand_index(&one, &one.clone()), 1.0);
+        // one vs singletons: as different as it gets for pair counting.
+        assert_eq!(rand_index(&one, &singles), 0.0);
+        assert!(nmi(&one, &singles) < 1e-12);
+        // NVD between them: row/col maxima are all 1 ⇒ 1 - (1+4+... )
+        let nvd = normalized_van_dongen(&one, &singles);
+        assert!(nvd > 0.0);
+    }
+
+    #[test]
+    fn f_measure_detects_split() {
+        // Reference: one community of 4. Candidate: split in half.
+        let x = p(&[0, 0, 0, 0]);
+        let y = p(&[0, 0, 1, 1]);
+        // F1 of best match = 2*2/(4+2) = 2/3.
+        assert!((f_measure(&x, &y) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nvd_symmetric_and_bounded() {
+        let x = p(&[0, 0, 1, 1, 2, 2]);
+        let y = p(&[0, 1, 1, 2, 2, 0]);
+        let a = normalized_van_dongen(&x, &y);
+        let b = normalized_van_dongen(&y, &x);
+        assert!((a - b).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn metrics_improve_with_similarity() {
+        // y1 is closer to x than y2 is.
+        let x = p(&[0, 0, 0, 0, 1, 1, 1, 1]);
+        let y1 = p(&[0, 0, 0, 1, 1, 1, 1, 1]); // one vertex moved
+        let y2 = p(&[0, 1, 0, 1, 0, 1, 0, 1]); // shuffled
+        assert!(nmi(&x, &y1) > nmi(&x, &y2));
+        assert!(adjusted_rand_index(&x, &y1) > adjusted_rand_index(&x, &y2));
+        assert!(f_measure(&x, &y1) > f_measure(&x, &y2));
+        assert!(normalized_van_dongen(&x, &y1) < normalized_van_dongen(&x, &y2));
+    }
+
+    #[test]
+    #[should_panic(expected = "same vertex set")]
+    fn size_mismatch_panics() {
+        let _ = nmi(&p(&[0, 1]), &p(&[0, 1, 2]));
+    }
+}

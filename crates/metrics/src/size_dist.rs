@@ -1,0 +1,98 @@
+//! Community-size distributions (Figure 5 of the paper).
+
+use crate::partition::Partition;
+
+/// Summary of a partition's community-size distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SizeDistribution {
+    /// Sorted community sizes, ascending.
+    pub sizes: Vec<usize>,
+    /// Largest community.
+    pub largest: usize,
+    /// Median community size.
+    pub median: usize,
+    /// Number of communities.
+    pub count: usize,
+    /// Number of singleton communities.
+    pub singletons: usize,
+}
+
+impl SizeDistribution {
+    /// Computes the distribution of `p`'s community sizes.
+    #[must_use]
+    pub fn of(p: &Partition) -> Self {
+        let mut sizes = p.sizes();
+        sizes.sort_unstable();
+        let largest = sizes.last().copied().unwrap_or(0);
+        let median = if sizes.is_empty() {
+            0
+        } else {
+            sizes[sizes.len() / 2]
+        };
+        let singletons = sizes.iter().take_while(|&&s| s == 1).count();
+        Self {
+            count: sizes.len(),
+            largest,
+            median,
+            singletons,
+            sizes,
+        }
+    }
+}
+
+/// Histogram of community sizes with power-of-two bins:
+/// bin `i` counts communities of size in `[2^i, 2^(i+1))`.
+///
+/// Returns `(bin_lower_bounds, counts)`.
+#[must_use]
+pub fn log_binned_histogram(sizes: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    if sizes.is_empty() {
+        return (Vec::new(), Vec::new());
+    }
+    let max = *sizes.iter().max().unwrap();
+    let bins = (usize::BITS - max.leading_zeros()) as usize;
+    let mut counts = vec![0usize; bins];
+    for &s in sizes {
+        if s == 0 {
+            continue;
+        }
+        let b = (usize::BITS - 1 - s.leading_zeros()) as usize;
+        counts[b] += 1;
+    }
+    let bounds = (0..bins).map(|i| 1usize << i).collect();
+    (bounds, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_summary() {
+        let p = Partition::from_labels(&[0, 0, 0, 1, 1, 2, 3, 3, 3, 3]);
+        let d = SizeDistribution::of(&p);
+        assert_eq!(d.sizes, vec![1, 2, 3, 4]);
+        assert_eq!(d.largest, 4);
+        assert_eq!(d.count, 4);
+        assert_eq!(d.singletons, 1);
+        assert_eq!(d.median, 3);
+    }
+
+    #[test]
+    fn log_bins() {
+        let (bounds, counts) = log_binned_histogram(&[1, 1, 2, 3, 4, 7, 8]);
+        assert_eq!(bounds, vec![1, 2, 4, 8]);
+        // [1,2): {1,1}; [2,4): {2,3}; [4,8): {4,7}; [8,16): {8}.
+        assert_eq!(counts, vec![2, 2, 2, 1]);
+        assert_eq!(counts.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let (b, c) = log_binned_histogram(&[]);
+        assert!(b.is_empty() && c.is_empty());
+        let d = SizeDistribution::of(&Partition::from_labels(&[]));
+        assert_eq!(d.count, 0);
+        assert_eq!(d.largest, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based validation of the metric implementations against
+//! brute-force definitions on small instances.
+
+use louvain_graph::edgelist::EdgeListBuilder;
+use louvain_metrics::partition::Partition;
+use louvain_metrics::quality::variation_of_information;
+use louvain_metrics::similarity::{
+    adjusted_rand_index, jaccard_index, nmi, rand_index,
+};
+use louvain_metrics::modularity;
+use proptest::prelude::*;
+
+fn arb_labels(n: usize, k: u32) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0..k, n)
+}
+
+/// Brute-force pair counts: (both together, together in x only, together
+/// in y only, apart in both).
+fn brute_pairs(x: &Partition, y: &Partition) -> (u64, u64, u64, u64) {
+    let n = x.num_vertices() as u32;
+    let (mut s11, mut s10, mut s01, mut s00) = (0u64, 0u64, 0u64, 0u64);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let sx = x.community(i) == x.community(j);
+            let sy = y.community(i) == y.community(j);
+            match (sx, sy) {
+                (true, true) => s11 += 1,
+                (true, false) => s10 += 1,
+                (false, true) => s01 += 1,
+                (false, false) => s00 += 1,
+            }
+        }
+    }
+    (s11, s10, s01, s00)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(60))]
+
+    /// RI and JI agree with their pair-counting definitions.
+    #[test]
+    fn pair_counting_metrics_match_brute_force(
+        lx in arb_labels(24, 5),
+        ly in arb_labels(24, 5),
+    ) {
+        let x = Partition::from_labels(&lx);
+        let y = Partition::from_labels(&ly);
+        let (s11, s10, s01, s00) = brute_pairs(&x, &y);
+        let total = (s11 + s10 + s01 + s00) as f64;
+        let ri_expect = (s11 + s00) as f64 / total;
+        prop_assert!((rand_index(&x, &y) - ri_expect).abs() < 1e-12);
+        let denom = s11 + s10 + s01;
+        let ji_expect = if denom == 0 { 1.0 } else { s11 as f64 / denom as f64 };
+        prop_assert!((jaccard_index(&x, &y) - ji_expect).abs() < 1e-12);
+    }
+
+    /// ARI is bounded above by 1 and equals 1 exactly for identical
+    /// partitions; it's symmetric.
+    #[test]
+    fn ari_axioms(lx in arb_labels(20, 4), ly in arb_labels(20, 4)) {
+        let x = Partition::from_labels(&lx);
+        let y = Partition::from_labels(&ly);
+        let a = adjusted_rand_index(&x, &y);
+        prop_assert!(a <= 1.0 + 1e-12);
+        prop_assert!((adjusted_rand_index(&y, &x) - a).abs() < 1e-12);
+        prop_assert!((adjusted_rand_index(&x, &x.clone()) - 1.0).abs() < 1e-12);
+    }
+
+    /// NMI and VI are consistent: NMI = 1 ⟺ VI = 0 (for non-degenerate
+    /// partitions), and both are relabeling-invariant.
+    #[test]
+    fn nmi_vi_consistency(lx in arb_labels(20, 4), perm_seed in 0u32..100) {
+        let x = Partition::from_labels(&lx);
+        // A relabeled copy of x.
+        let relabeled: Vec<u32> = lx.iter().map(|&l| (l + perm_seed) % 7 + 100 * (l + 1)).collect();
+        let y = Partition::from_labels(&relabeled);
+        // Relabeling with an injective map: structure identical.
+        prop_assert!(variation_of_information(&x, &y).abs() < 1e-9);
+        prop_assert!((nmi(&x, &y) - 1.0).abs() < 1e-9);
+    }
+
+    /// Modularity equals the direct 1/(2m) Σ_ij [A_ij − k_i k_j / 2m] δ
+    /// definition on random small weighted graphs.
+    #[test]
+    fn modularity_matches_definition(
+        edges in proptest::collection::vec((0u32..10, 0u32..10, 1u32..4), 1..40),
+        labels in arb_labels(10, 3),
+    ) {
+        let mut b = EdgeListBuilder::new(10);
+        for &(u, v, w) in &edges {
+            b.add_edge(u, v, f64::from(w));
+        }
+        let g = b.build_csr();
+        let p = Partition::from_labels(&labels);
+        // Direct definition over the adjacency matrix.
+        let n = 10u32;
+        let s = g.total_arc_weight();
+        let mut a = vec![vec![0.0f64; 10]; 10];
+        for u in 0..n {
+            for (v, w) in g.neighbors(u) {
+                a[u as usize][v as usize] += w;
+            }
+        }
+        let k: Vec<f64> = (0..n).map(|u| g.degree(u)).collect();
+        let mut q = 0.0;
+        for i in 0..10 {
+            for j in 0..10 {
+                if p.community(i as u32) == p.community(j as u32) {
+                    q += a[i][j] - k[i] * k[j] / s;
+                }
+            }
+        }
+        q /= s;
+        prop_assert!((modularity(&g, &p) - q).abs() < 1e-9, "{} vs {q}", modularity(&g, &p));
+    }
+}

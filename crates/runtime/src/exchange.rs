@@ -1,0 +1,272 @@
+//! Coalescing all-to-all message exchange with count-based quiescence.
+//!
+//! The communication pattern of the parallel Louvain algorithm
+//! (Algorithms 3 and 5) is an irregular personalized all-to-all: each rank
+//! scans a local table and fires fine-grained messages at the owners of
+//! remote vertices/communities. An [`Exchange`] phase mirrors the paper's
+//! messaging layer:
+//!
+//! 1. [`Exchange::send`] buffers the message in a per-destination packet
+//!    and flushes the packet when it reaches the coalescing capacity;
+//! 2. [`Exchange::finish`] flushes the remaining partial packets, posts
+//!    this rank's per-destination send counts to the shared count matrix,
+//!    and — after a barrier — drains its own channel until it has received
+//!    exactly the number of messages addressed to it, invoking the handler
+//!    on each;
+//! 3. a final barrier guarantees no rank starts the next phase while
+//!    others are still draining this one.
+
+use crate::world::RankCtx;
+use std::sync::atomic::Ordering;
+
+/// An in-progress communication phase. Create with
+/// [`RankCtx::exchange`], feed with [`Exchange::send`], complete with
+/// [`Exchange::finish`].
+pub struct Exchange<'a, 'w, M: Send> {
+    ctx: &'a mut RankCtx<'w, M>,
+    outbufs: Vec<Vec<M>>,
+    sent: Vec<u64>,
+    /// Messages addressed to this rank itself: short-circuited past the
+    /// channel (the standard MPI self-send optimization) and handed to
+    /// the handler at `finish`.
+    self_buf: Vec<M>,
+    self_rank: usize,
+}
+
+impl<'w, M: Send> RankCtx<'w, M> {
+    /// Starts a new communication phase. All ranks must start and finish
+    /// the phase collectively.
+    pub fn exchange(&mut self) -> Exchange<'_, 'w, M> {
+        let p = self.num_ranks();
+        Exchange {
+            outbufs: (0..p).map(|_| Vec::new()).collect(),
+            sent: vec![0; p],
+            self_buf: Vec::new(),
+            self_rank: self.rank(),
+            ctx: self,
+        }
+    }
+}
+
+impl<'a, 'w, M: Send> Exchange<'a, 'w, M> {
+    /// Sends `msg` to `dest` (buffered; flushed when the per-destination
+    /// packet fills). Self-sends bypass the channel entirely.
+    pub fn send(&mut self, dest: usize, msg: M) {
+        debug_assert!(dest < self.outbufs.len(), "destination out of range");
+        if dest == self.self_rank {
+            self.self_buf.push(msg);
+            return;
+        }
+        self.ctx.charge(self.ctx.world.charge_per_message);
+        let buf = &mut self.outbufs[dest];
+        buf.push(msg);
+        self.sent[dest] += 1;
+        if buf.len() >= self.ctx.world.coalesce {
+            let packet = std::mem::take(buf);
+            self.flush_packet(dest, packet);
+        }
+    }
+
+    /// Messages sent so far in this phase (including self-sends).
+    #[must_use]
+    pub fn sent_count(&self) -> u64 {
+        self.sent.iter().sum::<u64>() + self.self_buf.len() as u64
+    }
+
+    fn flush_packet(&mut self, dest: usize, packet: Vec<M>) {
+        if packet.is_empty() {
+            return;
+        }
+        self.ctx.sent_messages += packet.len() as u64;
+        self.ctx
+            .world
+            .packet_counter
+            .fetch_add(1, Ordering::Relaxed);
+        self.ctx.world.senders[dest]
+            .send(packet)
+            .expect("receiver alive for the duration of the run");
+    }
+
+    /// Completes the phase: flushes, synchronizes counts, and drains this
+    /// rank's inbox, calling `handler` on every received message. Returns
+    /// the number of messages received.
+    pub fn finish<F: FnMut(M)>(mut self, mut handler: F) -> u64 {
+        let p = self.ctx.num_ranks();
+        let rank = self.ctx.rank();
+        // Flush partial packets.
+        for dest in 0..p {
+            let packet = std::mem::take(&mut self.outbufs[dest]);
+            self.flush_packet(dest, packet);
+        }
+        // Post our send-count row (self-sends never touch the channel).
+        {
+            let mut counts = self.ctx.world.counts.lock();
+            counts[rank * p..(rank + 1) * p].copy_from_slice(&self.sent);
+        }
+        self.ctx.barrier();
+        // Deliver self-sends directly.
+        let mut received = self.self_buf.len() as u64;
+        for m in std::mem::take(&mut self.self_buf) {
+            handler(m);
+        }
+        // Expected from remote ranks = column sum for this rank.
+        let expected: u64 = received
+            + {
+                let counts = self.ctx.world.counts.lock();
+                (0..p)
+                    .filter(|&r| r != rank)
+                    .map(|r| counts[r * p + rank])
+                    .sum::<u64>()
+            };
+        while received < expected {
+            let packet = self
+                .ctx
+                .rx
+                .recv()
+                .expect("senders alive for the duration of the run");
+            received += packet.len() as u64;
+            for m in packet {
+                handler(m);
+            }
+        }
+        debug_assert_eq!(received, expected, "over-delivery detected");
+        // Delivery cost (self and remote alike), then close the BSP
+        // superstep — sim_sync's barriers double as the phase exit
+        // barrier.
+        self.ctx
+            .charge(received as f64 * self.ctx.world.charge_per_message);
+        self.ctx.sim_sync();
+        received
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::{run, run_with_config, RuntimeConfig};
+
+    #[test]
+    fn all_to_all_delivers_exact_multiset() {
+        // Every rank sends (src, i) for i in 0..src+1 to rank i % p.
+        let p = 4;
+        let out = run::<(usize, usize), _, _>(p, |ctx| {
+            let src = ctx.rank();
+            let mut ex = ctx.exchange();
+            for i in 0..=src {
+                ex.send(i % p, (src, i));
+            }
+            let mut got = Vec::new();
+            ex.finish(|m| got.push(m));
+            got.sort_unstable();
+            got
+        });
+        // Reconstruct the expected multiset.
+        let mut expected: Vec<Vec<(usize, usize)>> = vec![Vec::new(); p];
+        for src in 0..p {
+            for i in 0..=src {
+                expected[i % p].push((src, i));
+            }
+        }
+        for e in &mut expected {
+            e.sort_unstable();
+        }
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_exchange_completes() {
+        let out = run::<u64, _, _>(3, |ctx| {
+            let ex = ctx.exchange();
+            ex.finish(|_| panic!("no messages expected"))
+        });
+        assert_eq!(out, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn self_sends_loop_back() {
+        let out = run::<u64, _, _>(3, |ctx| {
+            let rank = ctx.rank();
+            let mut ex = ctx.exchange();
+            for i in 0..10u64 {
+                ex.send(rank, i);
+            }
+            let mut sum = 0u64;
+            ex.finish(|m| sum += m);
+            sum
+        });
+        assert_eq!(out, vec![45, 45, 45]);
+    }
+
+    #[test]
+    fn coalescing_capacity_one_still_correct() {
+        let cfg = RuntimeConfig {
+            coalesce_capacity: 1,
+            ..RuntimeConfig::new(4)
+        };
+        let (out, stats) = run_with_config::<u32, _, _>(cfg, |ctx| {
+            let p = ctx.num_ranks();
+            let mut ex = ctx.exchange();
+            for d in 0..p {
+                for i in 0..5u32 {
+                    ex.send(d, i);
+                }
+            }
+            let mut count = 0u64;
+            ex.finish(|_| count += 1);
+            count
+        });
+        assert_eq!(out, vec![20, 20, 20, 20]);
+        // With capacity 1 every remote message is its own packet; the 5
+        // self-sends per rank bypass the channel and are not counted as
+        // network traffic.
+        assert_eq!(stats.packets, stats.messages);
+        assert_eq!(stats.messages, 60);
+    }
+
+    #[test]
+    fn multiple_phases_do_not_cross_contaminate() {
+        let out = run::<u64, _, _>(4, |ctx| {
+            let mut totals = Vec::new();
+            for phase in 0..5u64 {
+                let rank = ctx.rank();
+                let mut ex = ctx.exchange();
+                // Send `phase` tagged messages to the next rank.
+                let dest = (rank + 1) % 4;
+                for _ in 0..(rank + 1) {
+                    ex.send(dest, phase);
+                }
+                let mut sum_tags = 0u64;
+                let mut count = 0u64;
+                ex.finish(|m| {
+                    sum_tags += m;
+                    count += 1;
+                });
+                // All received tags must equal the current phase.
+                assert_eq!(sum_tags, phase * count);
+                totals.push(count);
+            }
+            totals
+        });
+        // Rank r receives from rank (r+3)%4 which sends (r+3)%4+1 messages.
+        for (r, counts) in out.iter().enumerate() {
+            let expect = ((r + 3) % 4 + 1) as u64;
+            assert!(counts.iter().all(|&c| c == expect), "rank {r}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn large_volume_exchange() {
+        let out = run::<u64, _, _>(8, |ctx| {
+            let p = ctx.num_ranks();
+            let rank = ctx.rank() as u64;
+            let mut ex = ctx.exchange();
+            for i in 0..10_000u64 {
+                ex.send(((rank + i) % p as u64) as usize, rank * 10_000 + i);
+            }
+            let mut checksum = 0u64;
+            let n = ex.finish(|m| checksum ^= m);
+            (n, checksum)
+        });
+        let total: u64 = out.iter().map(|&(n, _)| n).sum();
+        assert_eq!(total, 80_000);
+    }
+}

@@ -1,0 +1,86 @@
+//! Prefix-scan collectives and gather, used for dense-id assignment
+//! (graph reconstruction gives each rank a contiguous block of new
+//! community ids) and for result collection.
+
+use crate::world::RankCtx;
+
+impl<'w, M: Send> RankCtx<'w, M> {
+    /// Exclusive prefix sum: rank r receives `Σ_{r' < r} x_{r'}`.
+    #[must_use]
+    pub fn exscan_sum_u64(&self, x: u64) -> u64 {
+        {
+            let mut slots = self.world.u64_slots.lock();
+            slots[self.rank] = x;
+        }
+        self.barrier();
+        let out = {
+            let slots = self.world.u64_slots.lock();
+            slots[..self.rank].iter().sum()
+        };
+        self.sim_sync();
+        out
+    }
+
+    /// Inclusive prefix sum: rank r receives `Σ_{r' <= r} x_{r'}`.
+    #[must_use]
+    pub fn scan_sum_u64(&self, x: u64) -> u64 {
+        self.exscan_sum_u64(x) + x
+    }
+
+    /// Gathers every rank's `xs` on rank 0 (concatenated in rank order);
+    /// other ranks receive an empty vector.
+    #[must_use]
+    pub fn gather_f64(&self, xs: &[f64]) -> Vec<f64> {
+        let all = self.allgather_f64(xs);
+        if self.rank == 0 {
+            all
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::run;
+
+    #[test]
+    fn exscan_matches_definition() {
+        let out = run::<(), _, _>(5, |ctx| ctx.exscan_sum_u64(ctx.rank() as u64 + 1));
+        // x = [1,2,3,4,5]; exscan = [0,1,3,6,10].
+        assert_eq!(out, vec![0, 1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn scan_is_inclusive() {
+        let out = run::<(), _, _>(4, |ctx| ctx.scan_sum_u64(2));
+        assert_eq!(out, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn gather_concentrates_on_root() {
+        let out = run::<(), _, _>(3, |ctx| ctx.gather_f64(&[ctx.rank() as f64]));
+        assert_eq!(out[0], vec![0.0, 1.0, 2.0]);
+        assert!(out[1].is_empty() && out[2].is_empty());
+    }
+
+    #[test]
+    fn repeated_scans_are_stable() {
+        let out = run::<(), _, _>(4, |ctx| {
+            let mut acc = 0u64;
+            for i in 0..20u64 {
+                acc += ctx.exscan_sum_u64(i + ctx.rank() as u64);
+            }
+            acc
+        });
+        // Deterministic: recompute expected on the host.
+        let mut expected = vec![0u64; 4];
+        for i in 0..20u64 {
+            let xs: Vec<u64> = (0..4u64).map(|r| i + r).collect();
+            for (r, e) in expected.iter_mut().enumerate() {
+                *e += xs[..r].iter().sum::<u64>();
+            }
+        }
+        assert_eq!(out, expected);
+    }
+}

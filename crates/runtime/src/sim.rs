@@ -1,0 +1,205 @@
+//! The BSP (bulk-synchronous) simulated clock.
+//!
+//! The host machine may have fewer cores than simulated ranks (in this
+//! repository's CI environment: a single core), in which case wall-clock
+//! time cannot exhibit parallel speedup — the ranks timeshare. The
+//! simulated clock provides the scaling signal instead, using the classic
+//! BSP cost model:
+//!
+//! > at every synchronization point, the global clock advances by the
+//! > *maximum* work any rank accumulated since the previous
+//! > synchronization, plus a fixed synchronization latency.
+//!
+//! Work units are charged automatically by the messaging layer (one unit
+//! per remote message sent and per message delivered, configurable via
+//! [`crate::RuntimeConfig::charge_per_message`]) and manually by
+//! algorithms via [`RankCtx::charge`] for local compute. Load imbalance
+//! shows up naturally through the `max`, and latency-dominated
+//! strong-scaling rolloff through the per-sync constant
+//! ([`crate::RuntimeConfig::sync_latency_units`]).
+//!
+//! The model intentionally has only those two calibration constants;
+//! everything else is *measured* from the actual execution.
+
+use crate::world::RankCtx;
+
+/// Global simulated-clock state (one per world, behind a mutex).
+#[derive(Debug, Default)]
+pub(crate) struct SimState {
+    /// The global simulated clock, in work units.
+    pub clock: f64,
+    /// Work accumulated by each rank since the last synchronization.
+    pub pending: Vec<f64>,
+}
+
+impl<'w, M: Send> RankCtx<'w, M> {
+    /// Charges `units` of local work to this rank's current superstep.
+    ///
+    /// Use for compute the messaging layer can't see (table scans,
+    /// per-vertex arithmetic). One unit should correspond to roughly the
+    /// cost of handling one message.
+    pub fn charge(&self, units: f64) {
+        self.work.set(self.work.get() + units);
+    }
+
+    /// Work charged to the current (unfinished) superstep so far.
+    #[must_use]
+    pub fn pending_work(&self) -> f64 {
+        self.work.get()
+    }
+
+    /// Advances the simulated clock by `max_rank(pending work) + latency`
+    /// and returns the new clock value. Collective: all ranks must call.
+    ///
+    /// Called internally by every exchange and collective; call directly
+    /// only to delimit a compute-only superstep.
+    pub fn sim_sync(&self) -> f64 {
+        {
+            let mut sim = self.world.sim.lock();
+            sim.pending[self.rank] = self.work.get();
+        }
+        self.work.set(0.0);
+        self.barrier();
+        if self.rank == 0 {
+            let mut sim = self.world.sim.lock();
+            let max = sim.pending.iter().copied().fold(0.0f64, f64::max);
+            sim.clock += max + self.world.sync_latency_units;
+            sim.pending.iter_mut().for_each(|x| *x = 0.0);
+        }
+        self.barrier();
+        self.world.sim.lock().clock
+    }
+
+    /// Current simulated time in work units (synchronizes first so all
+    /// outstanding work is accounted). Collective: all ranks must call.
+    #[must_use]
+    pub fn sim_time_units(&self) -> f64 {
+        self.sim_sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::world::{run, run_with_config, RuntimeConfig};
+
+    #[test]
+    fn clock_advances_by_max_work_plus_latency() {
+        let cfg = RuntimeConfig {
+            ranks: 4,
+            coalesce_capacity: 64,
+            sync_latency_units: 100.0,
+            charge_per_message: 1.0,
+        };
+        let (out, _) = run_with_config::<(), _, _>(cfg, |ctx| {
+            ctx.charge((ctx.rank() as f64 + 1.0) * 10.0); // max = 40
+            ctx.sim_sync();
+            ctx.charge(5.0);
+            ctx.sim_time_units()
+        });
+        // First sync: 40 + 100; second: 5 + 100. Total 245.
+        assert!(out.iter().all(|&t| (t - 245.0).abs() < 1e-9), "{out:?}");
+    }
+
+    #[test]
+    fn messages_are_charged_to_both_sides() {
+        let cfg = RuntimeConfig {
+            ranks: 2,
+            coalesce_capacity: 8,
+            sync_latency_units: 0.0,
+            charge_per_message: 1.0,
+        };
+        let (out, _) = run_with_config::<u32, _, _>(cfg, |ctx| {
+            let rank = ctx.rank();
+            let mut ex = ctx.exchange();
+            // Rank 0 sends 10 messages to rank 1; rank 1 sends none.
+            if rank == 0 {
+                for i in 0..10u32 {
+                    ex.send(1, i);
+                }
+            }
+            ex.finish(|_| ());
+            ctx.sim_time_units()
+        });
+        // One superstep: rank 0 charged 10 sends, rank 1 charged 10
+        // deliveries. Clock = max(10, 10) = 10; final sync adds nothing.
+        assert!(out.iter().all(|&t| (t - 10.0).abs() < 1e-9), "{out:?}");
+    }
+
+    #[test]
+    fn self_sends_charge_delivery_only() {
+        let cfg = RuntimeConfig {
+            ranks: 2,
+            coalesce_capacity: 8,
+            sync_latency_units: 0.0,
+            charge_per_message: 1.0,
+        };
+        let (out, _) = run_with_config::<u32, _, _>(cfg, |ctx| {
+            let rank = ctx.rank();
+            let mut ex = ctx.exchange();
+            for i in 0..10u32 {
+                ex.send(rank, i);
+            }
+            ex.finish(|_| ());
+            ctx.sim_time_units()
+        });
+        // Self-sends bypass the network; only the 10 deliveries cost.
+        assert!(out.iter().all(|&t| (t - 10.0).abs() < 1e-9), "{out:?}");
+    }
+
+    #[test]
+    fn more_ranks_reduce_simulated_time_for_fixed_total_work() {
+        // A fixed pool of 1200 work units split evenly: sim time must
+        // shrink with rank count — the property wall-clock cannot show on
+        // a single-core host.
+        let total = 1200.0;
+        let mut times = Vec::new();
+        for p in [1usize, 2, 4, 8] {
+            let cfg = RuntimeConfig {
+                ranks: p,
+                coalesce_capacity: 64,
+                sync_latency_units: 10.0,
+                charge_per_message: 1.0,
+            };
+            let (out, _) = run_with_config::<(), _, _>(cfg, |ctx| {
+                ctx.charge(total / ctx.num_ranks() as f64);
+                ctx.sim_time_units()
+            });
+            times.push(out[0]);
+        }
+        assert!(times[0] > times[1] && times[1] > times[2] && times[2] > times[3]);
+        // Near-ideal speedup at small p: (1200+10) vs (600+10).
+        let speedup = times[0] / times[1];
+        assert!((speedup - 1.98).abs() < 0.05, "{times:?}");
+    }
+
+    #[test]
+    fn collectives_advance_the_clock() {
+        let out = run::<(), _, _>(3, |ctx| {
+            let _ = ctx.allreduce_sum(1.0);
+            let _ = ctx.allreduce_sum(1.0);
+            ctx.sim_time_units()
+        });
+        // Default latency is non-zero, so two collectives + final sync
+        // must have advanced the clock, and all ranks agree.
+        assert!(out.iter().all(|&t| t > 0.0));
+        assert!(out.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9));
+    }
+
+    #[test]
+    fn imbalance_dominates_the_clock() {
+        let cfg = RuntimeConfig {
+            ranks: 4,
+            coalesce_capacity: 64,
+            sync_latency_units: 0.0,
+            charge_per_message: 1.0,
+        };
+        // One straggler with 1000 units; everyone else idle.
+        let (out, _) = run_with_config::<(), _, _>(cfg, |ctx| {
+            if ctx.rank() == 2 {
+                ctx.charge(1000.0);
+            }
+            ctx.sim_time_units()
+        });
+        assert!(out.iter().all(|&t| (t - 1000.0).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,243 @@
+//! World construction, rank contexts, and the scoped-thread launcher.
+
+use crate::sim::SimState;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// Runtime configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RuntimeConfig {
+    /// Number of simulated ranks (compute nodes).
+    pub ranks: usize,
+    /// Messages buffered per destination before a packet is flushed —
+    /// the coalescing granularity of the messaging layer.
+    pub coalesce_capacity: usize,
+    /// BSP cost model: clock units added per synchronization point
+    /// (models collective/barrier latency). See [`crate::sim`].
+    pub sync_latency_units: f64,
+    /// BSP cost model: clock units charged per remote message sent and
+    /// per message delivered.
+    pub charge_per_message: f64,
+}
+
+impl RuntimeConfig {
+    /// `ranks` ranks with the default coalescing capacity (1024 messages,
+    /// ~16 KiB packets for 16-byte messages) and default cost model
+    /// (1 unit/message, 5000 units/sync).
+    #[must_use]
+    pub fn new(ranks: usize) -> Self {
+        Self {
+            ranks,
+            coalesce_capacity: 1024,
+            sync_latency_units: 5000.0,
+            charge_per_message: 1.0,
+        }
+    }
+}
+
+/// Aggregate communication counters for a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Total messages sent across all ranks and phases.
+    pub messages: u64,
+    /// Total packets (coalesced message batches) sent.
+    pub packets: u64,
+}
+
+/// Shared world state (one per `run`).
+pub(crate) struct World<M: Send> {
+    pub(crate) p: usize,
+    pub(crate) coalesce: usize,
+    pub(crate) senders: Vec<Sender<Vec<M>>>,
+    pub(crate) barrier: Barrier,
+    /// One f64 slot per rank for scalar reductions.
+    pub(crate) f64_slots: Mutex<Vec<f64>>,
+    /// One u64 slot per rank for integer reductions.
+    pub(crate) u64_slots: Mutex<Vec<u64>>,
+    /// One vector slot per rank for element-wise reductions / allgather.
+    pub(crate) vec_slots: Mutex<Vec<Vec<f64>>>,
+    /// p×p per-phase send-count matrix (row = sender).
+    pub(crate) counts: Mutex<Vec<u64>>,
+    pub(crate) msg_counter: AtomicU64,
+    pub(crate) packet_counter: AtomicU64,
+    /// BSP simulated clock (see [`crate::sim`]).
+    pub(crate) sim: Mutex<SimState>,
+    pub(crate) sync_latency_units: f64,
+    pub(crate) charge_per_message: f64,
+}
+
+/// Per-rank handle: the only way a rank interacts with the rest of the
+/// "machine".
+pub struct RankCtx<'w, M: Send> {
+    pub(crate) rank: usize,
+    pub(crate) world: &'w World<M>,
+    pub(crate) rx: Receiver<Vec<M>>,
+    /// Messages this rank has sent (all phases).
+    pub(crate) sent_messages: u64,
+    /// BSP work charged since the last simulated synchronization.
+    pub(crate) work: Cell<f64>,
+}
+
+impl<'w, M: Send> RankCtx<'w, M> {
+    /// This rank's id in `0..num_ranks`.
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of ranks.
+    #[must_use]
+    pub fn num_ranks(&self) -> usize {
+        self.world.p
+    }
+
+    /// Messages sent by this rank so far.
+    #[must_use]
+    pub fn sent_messages(&self) -> u64 {
+        self.sent_messages
+    }
+
+    /// Blocks until every rank reaches the barrier.
+    pub fn barrier(&self) {
+        self.world.barrier.wait();
+    }
+}
+
+/// Runs `f` on `cfg.ranks` simulated ranks and returns the per-rank results
+/// in rank order together with communication statistics.
+///
+/// `M` is the message type carried by [`Exchange`](crate::Exchange) phases;
+/// it must be `Send`. The closure is invoked once per rank with that rank's
+/// [`RankCtx`].
+pub fn run_with_config<M, R, F>(cfg: RuntimeConfig, f: F) -> (Vec<R>, CommStats)
+where
+    M: Send,
+    R: Send,
+    F: Fn(&mut RankCtx<'_, M>) -> R + Sync,
+{
+    assert!(cfg.ranks >= 1, "at least one rank required");
+    assert!(cfg.coalesce_capacity >= 1, "coalesce capacity must be >= 1");
+    let p = cfg.ranks;
+    let mut senders = Vec::with_capacity(p);
+    let mut receivers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded::<Vec<M>>();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let world = World {
+        p,
+        coalesce: cfg.coalesce_capacity,
+        senders,
+        barrier: Barrier::new(p),
+        f64_slots: Mutex::new(vec![0.0; p]),
+        u64_slots: Mutex::new(vec![0; p]),
+        vec_slots: Mutex::new(vec![Vec::new(); p]),
+        counts: Mutex::new(vec![0; p * p]),
+        msg_counter: AtomicU64::new(0),
+        packet_counter: AtomicU64::new(0),
+        sim: Mutex::new(SimState {
+            clock: 0.0,
+            pending: vec![0.0; p],
+        }),
+        sync_latency_units: cfg.sync_latency_units,
+        charge_per_message: cfg.charge_per_message,
+    };
+    let results: Vec<R> = std::thread::scope(|s| {
+        let world = &world;
+        let f = &f;
+        let handles: Vec<_> = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, rx)| {
+                s.spawn(move || {
+                    let mut ctx = RankCtx {
+                        rank,
+                        world,
+                        rx,
+                        sent_messages: 0,
+                        work: Cell::new(0.0),
+                    };
+                    let out = f(&mut ctx);
+                    world
+                        .msg_counter
+                        .fetch_add(ctx.sent_messages, Ordering::Relaxed);
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank thread panicked"))
+            .collect()
+    });
+    let stats = CommStats {
+        messages: world.msg_counter.load(Ordering::Relaxed),
+        packets: world.packet_counter.load(Ordering::Relaxed),
+    };
+    (results, stats)
+}
+
+/// [`run_with_config`] with the default coalescing capacity.
+///
+/// ```
+/// // Each rank sends its id to rank 0 and everyone reduces a sum.
+/// let out = louvain_runtime::run::<u32, _, _>(4, |ctx| {
+///     let rank = ctx.rank() as u32;
+///     let mut ex = ctx.exchange();
+///     ex.send(0, rank);
+///     let mut received = 0u32;
+///     ex.finish(|m| received += m);
+///     let total = ctx.allreduce_sum_u64(u64::from(rank));
+///     (received, total)
+/// });
+/// assert_eq!(out[0], (0 + 1 + 2 + 3, 6)); // rank 0 got all ids
+/// assert_eq!(out[2], (0, 6));             // others got none
+/// ```
+pub fn run<M, R, F>(ranks: usize, f: F) -> Vec<R>
+where
+    M: Send,
+    R: Send,
+    F: Fn(&mut RankCtx<'_, M>) -> R + Sync,
+{
+    run_with_config(RuntimeConfig::new(ranks), f).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_get_distinct_ids_in_order() {
+        let out = run::<(), _, _>(4, |ctx| (ctx.rank(), ctx.num_ranks()));
+        assert_eq!(out, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn single_rank_works() {
+        let out = run::<(), _, _>(1, |ctx| ctx.rank());
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let out = run::<(), _, _>(8, |ctx| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every rank must see all 8 increments.
+            counter.load(Ordering::SeqCst)
+        });
+        assert!(out.iter().all(|&c| c == 8), "{out:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        let _ = run::<(), _, _>(0, |_| ());
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end convergence claims of the paper (Section V-B), verified
+//! across crates: graph generation → solvers → metrics.
+
+use parallel_louvain::core::parallel::{ParallelConfig, ParallelLouvain};
+use parallel_louvain::core::seq::{SeqConfig, SequentialLouvain};
+use parallel_louvain::graph::gen::lfr::{generate_lfr, LfrConfig};
+use parallel_louvain::metrics::similarity::{nmi, SimilarityReport};
+use parallel_louvain::metrics::{modularity, Partition};
+
+fn lfr(n: usize, mu: f64, seed: u64) -> parallel_louvain::graph::gen::lfr::LfrGraph {
+    generate_lfr(&LfrConfig::standard(n, mu), seed)
+}
+
+/// Figure 4a: the heuristic parallel algorithm is on par with the
+/// sequential one; the same distributed algorithm *without* the
+/// heuristic (the paper's ablation) is clearly worse.
+#[test]
+fn heuristic_on_par_with_sequential_naive_worse() {
+    // Sparse social-network stand-in (Amazon-like, avg degree ~5.5):
+    // exactly where Figure 4a shows the naive variant collapsing.
+    let g = parallel_louvain::graph::registry::by_name("amazon")
+        .unwrap()
+        .generate(7);
+    let csr = g.edges.to_csr();
+    let q_seq = SequentialLouvain::new(SeqConfig::default())
+        .run(&csr)
+        .final_modularity;
+    let q_par = ParallelLouvain::new(ParallelConfig::with_ranks(4))
+        .run(&g.edges)
+        .result
+        .final_modularity;
+    let naive = ParallelLouvain::new(ParallelConfig {
+        use_heuristic: false,
+        max_inner_iterations: 12,
+        max_levels: 6,
+        ..ParallelConfig::with_ranks(4)
+    })
+    .run(&g.edges);
+    assert!(
+        (q_seq - q_par).abs() < 0.05,
+        "parallel {q_par} should track sequential {q_seq}"
+    );
+    assert!(
+        naive.result.final_modularity < q_par - 0.2,
+        "no-heuristic {} should collapse vs parallel {q_par}",
+        naive.result.final_modularity
+    );
+    // And it never converges: the last inner iteration still churns a
+    // large fraction of the vertices.
+    let lvl0 = &naive.result.levels[0];
+    assert_eq!(lvl0.inner_iterations, 12, "ran to the cap");
+    assert!(
+        *lvl0.move_fractions.last().unwrap() > 0.5,
+        "chaotic motion persists: {:?}",
+        lvl0.move_fractions.last()
+    );
+}
+
+/// Table III shape: partition similarity between parallel and sequential
+/// results — NVD near 0, the others near 1.
+#[test]
+fn parallel_sequential_similarity_metrics() {
+    let g = lfr(4000, 0.3, 2);
+    let csr = g.edges.to_csr();
+    let seq = SequentialLouvain::new(SeqConfig::default()).run(&csr);
+    let par = ParallelLouvain::new(ParallelConfig::with_ranks(4)).run(&g.edges);
+    let r = SimilarityReport::compute(&seq.final_partition, &par.result.final_partition);
+    assert!(r.nmi > 0.85, "NMI {}", r.nmi);
+    assert!(r.rand > 0.95, "RI {}", r.rand);
+    assert!(r.nvd < 0.30, "NVD {}", r.nvd);
+    assert!(r.f_measure > 0.5, "F {}", r.f_measure);
+}
+
+/// Both solvers recover LFR ground truth at low mixing.
+#[test]
+fn ground_truth_recovery_at_low_mixing() {
+    let g = lfr(3000, 0.15, 3);
+    let truth = Partition::from_labels(&g.ground_truth);
+    let csr = g.edges.to_csr();
+    let seq = SequentialLouvain::new(SeqConfig::default()).run(&csr);
+    let par = ParallelLouvain::new(ParallelConfig::with_ranks(4)).run(&g.edges);
+    assert!(nmi(&truth, &seq.final_partition) > 0.9);
+    assert!(nmi(&truth, &par.result.final_partition) > 0.9);
+}
+
+/// The parallel result is a valid partition whose reported modularity is
+/// the true modularity on the original graph.
+#[test]
+fn parallel_result_is_consistent() {
+    let g = lfr(2500, 0.35, 4);
+    let csr = g.edges.to_csr();
+    for ranks in [1, 3, 8] {
+        let r = ParallelLouvain::new(ParallelConfig::with_ranks(ranks)).run(&g.edges);
+        let p = &r.result.final_partition;
+        assert!(p.is_valid());
+        assert_eq!(p.num_vertices(), csr.num_vertices());
+        let q = modularity(&csr, p);
+        assert!(
+            (q - r.result.final_modularity).abs() < 1e-9,
+            "ranks {ranks}: {q} vs {}",
+            r.result.final_modularity
+        );
+    }
+}
+
+/// Level modularity is achieved in few inner iterations (the paper's
+/// inner loops number in the single digits) and move fractions decay.
+#[test]
+fn inner_loops_terminate_quickly_with_decaying_fractions() {
+    let g = lfr(3000, 0.3, 5);
+    let r = ParallelLouvain::new(ParallelConfig::with_ranks(4)).run(&g.edges);
+    let lvl0 = &r.result.levels[0];
+    assert!(
+        lvl0.inner_iterations <= 20,
+        "level 0 took {} inner iterations",
+        lvl0.inner_iterations
+    );
+    let first = lvl0.move_fractions[0];
+    let last = *lvl0.move_fractions.last().unwrap();
+    assert!(first > 0.3, "first fraction {first}");
+    assert!(last < first / 2.0, "fractions should decay: {first} -> {last}");
+}
+
+/// The sequential hierarchy is monotone in modularity; the parallel one
+/// reports its best level as final.
+#[test]
+fn hierarchy_quality_reporting() {
+    let g = lfr(3000, 0.3, 6);
+    let csr = g.edges.to_csr();
+    let seq = SequentialLouvain::new(SeqConfig::default()).run(&csr);
+    let mut prev = f64::NEG_INFINITY;
+    for lvl in &seq.levels {
+        assert!(lvl.modularity >= prev - 1e-12);
+        prev = lvl.modularity;
+    }
+    let par = ParallelLouvain::new(ParallelConfig::with_ranks(4)).run(&g.edges);
+    let best = par
+        .result
+        .levels
+        .iter()
+        .map(|l| l.modularity)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!((par.result.final_modularity - best).abs() < 1e-12);
+}

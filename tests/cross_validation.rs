@@ -1,0 +1,136 @@
+//! Cross-implementation validation: the distributed hash-table pipeline
+//! (Algorithms 2–5) must agree with the shared-memory CSR pipeline on
+//! everything that is algorithm-independent.
+
+use parallel_louvain::core::coarsen::induced_edge_list;
+use parallel_louvain::core::parallel::{ParallelConfig, ParallelLouvain};
+use parallel_louvain::graph::edgelist::EdgeListBuilder;
+use parallel_louvain::graph::gen::planted::{generate_planted, PlantedConfig};
+use parallel_louvain::graph::gen::rmat::{generate_rmat, RmatConfig};
+use parallel_louvain::metrics::{modularity, Partition};
+
+/// Rank count must not change the *reported-vs-recomputed* consistency,
+/// on weighted graphs with self-loops included.
+#[test]
+fn modularity_consistency_under_weights_and_loops() {
+    let mut b = EdgeListBuilder::new(30);
+    // A weighted wheel + loops.
+    for i in 0..30u32 {
+        b.add_edge(i, (i + 1) % 30, 1.0 + f64::from(i % 3));
+        if i % 5 == 0 {
+            b.add_edge(i, i, 0.5);
+        }
+        if i % 3 == 0 {
+            b.add_edge(i, (i + 7) % 30, 0.25);
+        }
+    }
+    let el = b.build();
+    let csr = el.to_csr();
+    for ranks in [1, 2, 5] {
+        let r = ParallelLouvain::new(ParallelConfig::with_ranks(ranks)).run(&el);
+        let q = modularity(&csr, &r.result.final_partition);
+        assert!(
+            (q - r.result.final_modularity).abs() < 1e-9,
+            "ranks {ranks}"
+        );
+        for (lvl, p) in r.result.levels.iter().zip(&r.result.level_partitions) {
+            let ql = modularity(&csr, p);
+            assert!((ql - lvl.modularity).abs() < 1e-9, "ranks {ranks} level");
+        }
+    }
+}
+
+/// The distributed reconstruction (Algorithm 5, all-to-all over the
+/// Out-Table) must produce a super-graph equivalent to the shared-memory
+/// induced graph: same invariant Q for the induced singleton partition
+/// and same total weight 2m.
+#[test]
+fn reconstruction_agrees_with_induced_graph() {
+    let (el, _) = generate_planted(
+        &PlantedConfig {
+            communities: 5,
+            community_size: 30,
+            p_in: 0.3,
+            p_out: 0.02,
+        },
+        9,
+    );
+    let csr = el.to_csr();
+    let r = ParallelLouvain::new(ParallelConfig::with_ranks(3)).run(&el);
+    // Take level 0's partition and build the induced graph the
+    // shared-memory way.
+    let p0 = &r.result.level_partitions[0];
+    let sup = induced_edge_list(&csr, p0.labels(), p0.num_communities()).to_csr();
+    // 2m preserved.
+    assert!((sup.total_arc_weight() - csr.total_arc_weight()).abs() < 1e-9);
+    // Q(level-0 partition on original) == Q(singletons on super graph).
+    let q_orig = modularity(&csr, p0);
+    let q_sup = modularity(&sup, &Partition::singletons(sup.num_vertices()));
+    assert!((q_orig - q_sup).abs() < 1e-9);
+    // And equals what the solver reported for level 0.
+    assert!((q_orig - r.result.levels[0].modularity).abs() < 1e-9);
+}
+
+/// Determinism end-to-end on an R-MAT workload (integer weights): two
+/// runs with identical configuration are bit-identical.
+#[test]
+fn rmat_runs_are_deterministic() {
+    let el = generate_rmat(&RmatConfig::graph500(10), 5);
+    let a = ParallelLouvain::new(ParallelConfig::with_ranks(4)).run(&el);
+    let b = ParallelLouvain::new(ParallelConfig::with_ranks(4)).run(&el);
+    assert_eq!(a.result.final_modularity, b.result.final_modularity);
+    assert_eq!(
+        a.result.final_partition.labels(),
+        b.result.final_partition.labels()
+    );
+    assert_eq!(a.comm.messages, b.comm.messages);
+    assert_eq!(a.sim_total_units, b.sim_total_units);
+}
+
+/// The BSP-simulated time must decrease with rank count on a graph with
+/// enough parallelism (the scaling property Figures 7/9 rely on).
+#[test]
+fn simulated_time_scales_down_with_ranks() {
+    let el = generate_rmat(&RmatConfig::graph500(12), 6);
+    let t1 = ParallelLouvain::new(ParallelConfig::with_ranks(1))
+        .run(&el)
+        .sim_total_units;
+    let t4 = ParallelLouvain::new(ParallelConfig::with_ranks(4))
+        .run(&el)
+        .sim_total_units;
+    let t16 = ParallelLouvain::new(ParallelConfig::with_ranks(16))
+        .run(&el)
+        .sim_total_units;
+    assert!(t4 < t1, "t1={t1} t4={t4}");
+    assert!(t16 < t4, "t4={t4} t16={t16}");
+}
+
+/// Coalescing capacity changes packet counts, not results.
+#[test]
+fn coalescing_capacity_does_not_change_results() {
+    let (el, _) = generate_planted(
+        &PlantedConfig {
+            communities: 4,
+            community_size: 25,
+            p_in: 0.3,
+            p_out: 0.02,
+        },
+        10,
+    );
+    let small = ParallelLouvain::new(ParallelConfig {
+        coalesce_capacity: 4,
+        ..ParallelConfig::with_ranks(4)
+    })
+    .run(&el);
+    let large = ParallelLouvain::new(ParallelConfig {
+        coalesce_capacity: 4096,
+        ..ParallelConfig::with_ranks(4)
+    })
+    .run(&el);
+    assert_eq!(
+        small.result.final_partition.labels(),
+        large.result.final_partition.labels()
+    );
+    assert_eq!(small.comm.messages, large.comm.messages);
+    assert!(small.comm.packets > large.comm.packets);
+}

@@ -1,0 +1,108 @@
+//! Failure-injection tests: invalid inputs must fail loudly at the
+//! boundary (documented panics), never corrupt state silently.
+
+use parallel_louvain::core::parallel::{ParallelConfig, ParallelLouvain};
+use parallel_louvain::graph::edgelist::EdgeListBuilder;
+use parallel_louvain::graph::gen::lfr::{generate_lfr, LfrConfig};
+use parallel_louvain::graph::gen::planted::{generate_planted, PlantedConfig};
+use parallel_louvain::graph::gen::ws::{generate_ws, WsConfig};
+use parallel_louvain::metrics::{modularity, Partition};
+
+#[test]
+#[should_panic(expected = "exceeds u32 id space")]
+fn builder_rejects_oversized_vertex_space() {
+    let _ = EdgeListBuilder::new(u32::MAX as usize + 10);
+}
+
+#[test]
+#[should_panic(expected = "infeasible")]
+fn gnm_rejects_impossible_edge_counts() {
+    let _ = parallel_louvain::graph::gen::er::generate_gnm(4, 100, 1);
+}
+
+#[test]
+#[should_panic(expected = "n too small")]
+fn lfr_rejects_degenerate_configs() {
+    let _ = generate_lfr(
+        &LfrConfig {
+            n: 10,
+            avg_degree: 4.0,
+            max_degree: 5,
+            gamma: 2.5,
+            beta: 1.5,
+            mu: 0.3,
+            min_community: 16,
+            max_community: 32,
+        },
+        1,
+    );
+}
+
+#[test]
+#[should_panic(expected = "mu must be")]
+fn lfr_rejects_mu_one() {
+    let _ = generate_lfr(&LfrConfig::standard(1000, 1.0), 1);
+}
+
+#[test]
+#[should_panic(expected = "k must be even")]
+fn ws_rejects_odd_k() {
+    let _ = generate_ws(
+        &WsConfig {
+            n: 10,
+            k: 3,
+            beta: 0.1,
+        },
+        1,
+    );
+}
+
+#[test]
+#[should_panic(expected = "partition size mismatch")]
+fn modularity_rejects_mismatched_partition() {
+    let mut b = EdgeListBuilder::new(4);
+    b.add_edge(0, 1, 1.0);
+    let g = b.build_csr();
+    let _ = modularity(&g, &Partition::singletons(3));
+}
+
+#[test]
+#[should_panic]
+fn parallel_rejects_zero_ranks() {
+    let _ = ParallelLouvain::new(ParallelConfig {
+        ranks: 0,
+        ..ParallelConfig::default()
+    });
+}
+
+/// Degenerate but valid inputs must NOT panic.
+#[test]
+fn degenerate_valid_inputs_are_fine() {
+    // Single vertex, no edges.
+    let g1 = EdgeListBuilder::new(1).build();
+    let r = ParallelLouvain::new(ParallelConfig::with_ranks(2)).run(&g1);
+    assert_eq!(r.result.final_partition.num_vertices(), 1);
+
+    // Only self-loops.
+    let mut b = EdgeListBuilder::new(3);
+    for v in 0..3 {
+        b.add_edge(v, v, 1.0);
+    }
+    let el = b.build();
+    let r = ParallelLouvain::new(ParallelConfig::with_ranks(2)).run(&el);
+    assert_eq!(r.result.final_partition.num_communities(), 3);
+
+    // Planted graph with a single community (p_out irrelevant).
+    let (el, truth) = generate_planted(
+        &PlantedConfig {
+            communities: 1,
+            community_size: 20,
+            p_in: 0.3,
+            p_out: 0.0,
+        },
+        1,
+    );
+    assert!(truth.iter().all(|&c| c == 0));
+    let r = ParallelLouvain::new(ParallelConfig::with_ranks(3)).run(&el);
+    assert!(r.result.final_partition.is_valid());
+}

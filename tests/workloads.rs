@@ -1,0 +1,108 @@
+//! Workload-registry validation: every Table-I stand-in must generate,
+//! have statistics in the right regime, and be solvable.
+
+use parallel_louvain::core::parallel::{ParallelConfig, ParallelLouvain};
+use parallel_louvain::graph::registry::{by_name, registry};
+use parallel_louvain::graph::stats::{degree_stats, sampled_gcc};
+use parallel_louvain::graph::traversal::connected_components;
+
+/// Every registry entry generates a graph of the declared size with a
+/// sensible average degree.
+#[test]
+fn all_standins_generate_with_declared_sizes() {
+    for w in registry() {
+        // The two largest are covered by lighter smoke tests elsewhere.
+        if matches!(w.name, "uk2007" | "twitter" | "uk2005" | "wikipedia") {
+            continue;
+        }
+        let g = w.generate(1);
+        assert_eq!(
+            g.edges.num_vertices(),
+            w.standin_vertices(),
+            "{}: vertex count",
+            w.name
+        );
+        let avg = 2.0 * g.edges.num_edges() as f64 / g.edges.num_vertices() as f64;
+        assert!(
+            avg > 2.0 && avg < 100.0,
+            "{}: avg degree {avg} out of regime",
+            w.name
+        );
+    }
+}
+
+/// The social-network stand-ins are dominated by one giant component
+/// (like their real counterparts).
+#[test]
+fn social_standins_have_giant_component() {
+    for name in ["amazon", "dblp", "livejournal"] {
+        let g = by_name(name).unwrap().generate(2);
+        let csr = g.edges.to_csr();
+        let comps = connected_components(&csr);
+        let giant = *comps.sizes.iter().max().unwrap();
+        assert!(
+            giant as f64 > 0.9 * csr.num_vertices() as f64,
+            "{name}: giant component {giant}/{}",
+            csr.num_vertices()
+        );
+    }
+}
+
+/// Web-crawl stand-ins (BTER) must have much higher clustering than the
+/// scale-free stand-ins (R-MAT) — the structural contrast Figure 9
+/// depends on.
+#[test]
+fn clustering_contrast_between_bter_and_rmat() {
+    let web = by_name("uk2005").unwrap().generate(3);
+    let scale_free = by_name("wikipedia").unwrap().generate(3);
+    let gcc_web = sampled_gcc(&web.edges.to_csr(), 20_000, 4);
+    let gcc_rmat = sampled_gcc(&scale_free.edges.to_csr(), 20_000, 4);
+    assert!(
+        gcc_web > 2.5 * gcc_rmat.max(0.005) && gcc_web > 0.15,
+        "web {gcc_web} vs rmat {gcc_rmat}"
+    );
+}
+
+/// Degree skew: the R-MAT stand-ins have heavy-tailed degrees (max ≫
+/// mean), matching Twitter/Wikipedia.
+#[test]
+fn rmat_standins_are_skewed() {
+    let g = by_name("wikipedia").unwrap().generate(5);
+    let s = degree_stats(&g.edges.to_csr());
+    assert!(
+        s.max as f64 > 30.0 * s.mean,
+        "max {} vs mean {}",
+        s.max,
+        s.mean
+    );
+}
+
+/// End-to-end: the distributed solver produces meaningful communities on
+/// a mid-size stand-in, with high modularity on the strongly clustered
+/// web analog.
+#[test]
+fn solver_on_web_standin() {
+    let g = by_name("uk2005").unwrap().generate(6);
+    let r = ParallelLouvain::new(ParallelConfig::with_ranks(4)).run(&g.edges);
+    assert!(
+        r.result.final_modularity > 0.6,
+        "web stand-in Q = {}",
+        r.result.final_modularity
+    );
+    assert!(r.result.final_partition.num_communities() > 100);
+}
+
+/// Different seeds give different graphs, same seed gives the same graph.
+#[test]
+fn registry_seeding() {
+    let w = by_name("amazon").unwrap();
+    let a = w.generate(10);
+    let b = w.generate(10);
+    let c = w.generate(11);
+    // Same seed: identical graph and truth.
+    assert_eq!(a.edges.num_edges(), b.edges.num_edges());
+    assert_eq!(a.ground_truth, b.ground_truth);
+    // Different seed: different graph and truth.
+    assert_ne!(a.ground_truth, c.ground_truth);
+    assert_ne!(a.edges.num_edges(), c.edges.num_edges());
+}
