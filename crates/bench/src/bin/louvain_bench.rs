@@ -66,8 +66,21 @@ fn main() {
 
     if which == "all" {
         for name in [
-            "table1", "fig2", "fig4", "fig5", "table3", "fig6", "fig7", "fig8", "table4",
-            "fig9", "ablate-epsilon", "ablate-coalesce", "ablate-order", "ablate-refine", "baseline-lp",
+            "table1",
+            "fig2",
+            "fig4",
+            "fig5",
+            "table3",
+            "fig6",
+            "fig7",
+            "fig8",
+            "table4",
+            "fig9",
+            "ablate-epsilon",
+            "ablate-coalesce",
+            "ablate-order",
+            "ablate-refine",
+            "baseline-lp",
         ] {
             run_one(name);
         }

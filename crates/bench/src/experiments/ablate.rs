@@ -21,13 +21,7 @@ use louvain_core::smp::{SmpConfig, SmpLouvain};
 pub fn epsilon(quick: bool) {
     let name = if quick { "amazon" } else { "livejournal" };
     let g = workload(name, SEED);
-    let mut t = Table::new(&[
-        "schedule",
-        "Q",
-        "levels",
-        "total_inner_iters",
-        "wall_s",
-    ]);
+    let mut t = Table::new(&["schedule", "Q", "levels", "total_inner_iters", "wall_s"]);
     let mut cases: Vec<(String, ParallelConfig)> = Vec::new();
     for p2 in [0.5, 1.0, 2.0, 4.0] {
         cases.push((
@@ -96,7 +90,9 @@ pub fn coalesce(quick: bool) {
             f(r.result.final_modularity, 4),
         ]);
     }
-    t.print(&format!("Ablation: coalescing capacity on {name} (8 ranks)"));
+    t.print(&format!(
+        "Ablation: coalescing capacity on {name} (8 ranks)"
+    ));
     Csv::write("ablate_coalesce", &t);
     println!("(expected: packets drop ~linearly with capacity; wall time improves until plateau)");
 }
@@ -130,7 +126,9 @@ pub fn order(quick: bool) {
             f(t0.elapsed().as_secs_f64(), 3),
         ]);
     }
-    t.print(&format!("Ablation: vertex traversal order on {name} (sequential)"));
+    t.print(&format!(
+        "Ablation: vertex traversal order on {name} (sequential)"
+    ));
     Csv::write("ablate_order", &t);
     println!("(expected: small quality spread — order changes details, not quality)");
 }

@@ -79,6 +79,8 @@ pub fn run(quick: bool) {
 
     curves.print("Figure 4: modularity & evolution ratio per outer iteration");
     Csv::write("fig4_curves", &curves);
-    summary.print("Figure 4 summary (paper: heuristic ≈ sequential, naive low; >94% merged in iter 1)");
+    summary.print(
+        "Figure 4 summary (paper: heuristic ≈ sequential, naive low; >94% merged in iter 1)",
+    );
     Csv::write("fig4_summary", &summary);
 }

@@ -34,11 +34,7 @@ pub fn run(quick: bool) {
         Phase::ComputeModularity,
     ] {
         let d = r.timers.get(ph).as_secs_f64();
-        outer.row(&[
-            ph.name().to_string(),
-            f(d, 3),
-            f(100.0 * d / total, 1),
-        ]);
+        outer.row(&[ph.name().to_string(), f(d, 3), f(100.0 * d / total, 1)]);
     }
     outer.row(&[
         "first_outer_loop".to_string(),

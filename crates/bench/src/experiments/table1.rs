@@ -43,7 +43,12 @@ pub fn run(quick: bool) {
             f(avg, 1),
             f(gcc, 3),
             diam.to_string(),
-            if g.ground_truth.is_some() { "yes" } else { "no" }.to_string(),
+            if g.ground_truth.is_some() {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     t.print("Table I: graphs used for evaluation (paper originals vs generated stand-ins)");

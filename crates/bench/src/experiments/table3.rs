@@ -16,14 +16,27 @@ use louvain_metrics::similarity::SimilarityReport;
 const PAPER: [(&str, [f64; 6]); 4] = [
     ("amazon", [0.9734, 0.8159, 0.1461, 0.9989, 0.6775, 0.5123]),
     ("ndweb", [0.9848, 0.9270, 0.0510, 0.9998, 0.9219, 0.8552]),
-    ("lfr-mu0.4", [0.9903, 0.9452, 0.0404, 0.9999, 0.9415, 0.8895]),
-    ("lfr-mu0.5", [0.9833, 0.9058, 0.0683, 0.9999, 0.9034, 0.8239]),
+    (
+        "lfr-mu0.4",
+        [0.9903, 0.9452, 0.0404, 0.9999, 0.9415, 0.8895],
+    ),
+    (
+        "lfr-mu0.5",
+        [0.9833, 0.9058, 0.0683, 0.9999, 0.9034, 0.8239],
+    ),
 ];
 
 /// Runs the experiment.
 pub fn run(_quick: bool) {
     let mut t = Table::new(&[
-        "graph", "source", "NMI", "F-measure", "NVD", "RI", "ARI", "JI",
+        "graph",
+        "source",
+        "NMI",
+        "F-measure",
+        "NVD",
+        "RI",
+        "ARI",
+        "JI",
     ]);
     for (name, paper_vals) in PAPER {
         let edges = match name {

@@ -46,7 +46,11 @@ pub fn run(quick: bool) {
     ]);
     t.row(&[
         format!("this repo ({}x smaller stand-in)", 530),
-        format!("{} s wall / {} s sim", secs(r.total_time), f(r.simulated_time(NS_PER_UNIT).as_secs_f64(), 2)),
+        format!(
+            "{} s wall / {} s sim",
+            secs(r.total_time),
+            f(r.simulated_time(NS_PER_UNIT).as_secs_f64(), 2)
+        ),
         f(r.result.final_modularity, 3),
         format!("{ranks} ranks"),
         "simulated cluster".into(),

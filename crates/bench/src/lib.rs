@@ -20,6 +20,8 @@
 //! | `ablate-epsilon` | ε-schedule parameter sweep (design ablation) |
 //! | `ablate-coalesce` | coalescing-capacity sweep (design ablation) |
 
+#![warn(missing_docs)]
+
 pub mod experiments;
 pub mod report;
 

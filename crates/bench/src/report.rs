@@ -57,7 +57,13 @@ impl Table {
         let line = |out: &mut String, cells: &[String]| {
             for (i, c) in cells.iter().enumerate() {
                 let pad = width[i] - c.chars().count();
-                let _ = write!(out, "{}{}{}", c, " ".repeat(pad), if i + 1 < cols { "  " } else { "" });
+                let _ = write!(
+                    out,
+                    "{}{}{}",
+                    c,
+                    " ".repeat(pad),
+                    if i + 1 < cols { "  " } else { "" }
+                );
             }
             out.push('\n');
         };
@@ -90,7 +96,11 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

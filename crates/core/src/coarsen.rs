@@ -8,7 +8,8 @@
 
 use louvain_graph::csr::CsrGraph;
 use louvain_graph::edgelist::{EdgeList, EdgeListBuilder};
-use std::collections::HashMap;
+use louvain_hash::{pack_key, unpack_key};
+use std::collections::BTreeMap;
 
 /// Builds the induced (super) graph of `labels` over `g`.
 ///
@@ -21,19 +22,21 @@ pub fn induced_edge_list(g: &CsrGraph, labels: &[u32], num_communities: usize) -
     // Accumulate arc weight between community pairs. Cross-community arcs
     // are visited twice (once per direction) and self-loop arcs once with
     // doubled weight, so dividing by 2 yields edge-list weights under the
-    // CSR conventions.
-    let mut acc: HashMap<u64, f64> = HashMap::new();
+    // CSR conventions. A BTreeMap keyed on the packed pair keeps the
+    // super-graph's edge order (and hence downstream tie-breaks) identical
+    // across runs.
+    let mut acc: BTreeMap<u64, f64> = BTreeMap::new();
     for u in 0..g.num_vertices() as u32 {
         let cu = labels[u as usize];
         for (v, w) in g.neighbors(u) {
             let cv = labels[v as usize];
             let (lo, hi) = if cu <= cv { (cu, cv) } else { (cv, cu) };
-            *acc.entry(((lo as u64) << 32) | hi as u64).or_insert(0.0) += w;
+            *acc.entry(pack_key(lo, hi)).or_insert(0.0) += w;
         }
     }
     let mut b = EdgeListBuilder::with_capacity(num_communities, acc.len());
     for (key, w) in acc {
-        let (lo, hi) = ((key >> 32) as u32, key as u32);
+        let (lo, hi) = unpack_key(key);
         b.add_edge(lo, hi, w / 2.0);
     }
     b.build()

@@ -108,8 +108,7 @@ mod tests {
                         .map(|(_, w)| w)
                         .sum()
                 };
-                let predicted =
-                    move_gain(w_to(c_old), w_to(c_new), k_u, tot(c_old), tot(c_new), s);
+                let predicted = move_gain(w_to(c_old), w_to(c_new), k_u, tot(c_old), tot(c_new), s);
 
                 let before = modularity(&g, &Partition::from_labels(&labels));
                 let mut after_labels = labels.clone();

@@ -190,7 +190,11 @@ mod tests {
         // iteration 6 (see the Default impl docs for why ε(1) < the
         // sequential trace value).
         let s = EpsilonSchedule::default();
-        assert!((0.5..0.7).contains(&s.epsilon(1)), "ε(1) = {}", s.epsilon(1));
+        assert!(
+            (0.5..0.7).contains(&s.epsilon(1)),
+            "ε(1) = {}",
+            s.epsilon(1)
+        );
         assert!(s.epsilon(6) < 0.10, "ε(6) = {}", s.epsilon(6));
     }
 

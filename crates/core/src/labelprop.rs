@@ -189,6 +189,10 @@ fn rank_main(
             if l == label[li] {
                 own_w[li] = w;
             }
+            // Exact tie-break on equal accumulated weights: both sides are
+            // sums of the same integer-valued inputs, so equality is exact
+            // and the minimum-label rule stays deterministic.
+            #[allow(clippy::float_cmp)]
             if w > best_w[li] || (w == best_w[li] && l < best_l[li]) {
                 best_w[li] = w;
                 best_l[li] = l;
@@ -206,10 +210,7 @@ fn rank_main(
                 continue;
             }
             // Keep the current label on ties (stability).
-            if best_l[li] != u32::MAX
-                && best_w[li] > own_w[li]
-                && best_l[li] != label[li]
-            {
+            if best_l[li] != u32::MAX && best_w[li] > own_w[li] && best_l[li] != label[li] {
                 label[li] = best_l[li];
                 changes += 1;
             }
@@ -289,10 +290,9 @@ mod tests {
         );
         let csr = g.edges.to_csr();
         let lp = LabelPropagation::new(LabelPropConfig::with_ranks(4)).run(&g.edges);
-        let louvain = crate::parallel::ParallelLouvain::new(
-            crate::parallel::ParallelConfig::with_ranks(4),
-        )
-        .run(&g.edges);
+        let louvain =
+            crate::parallel::ParallelLouvain::new(crate::parallel::ParallelConfig::with_ranks(4))
+                .run(&g.edges);
         let q_lp = modularity(&csr, &lp.partition);
         assert!(
             louvain.result.final_modularity > q_lp + 0.02,

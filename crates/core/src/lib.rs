@@ -1,4 +1,11 @@
 #![warn(missing_docs)]
+// F1's clippy-side complement: flags every float `==`/`!=`, including the
+// variable-to-variable comparisons the token-based pass cannot see.
+#![warn(clippy::float_cmp)]
+// Tests assert exact expected values on purpose (integer-weight graphs
+// make modularity sums exact); the production build keeps the warning.
+#![cfg_attr(test, allow(clippy::float_cmp))]
+#![warn(clippy::unwrap_used)]
 
 //! The Louvain algorithms of Que et al. (IPDPS 2015).
 //!

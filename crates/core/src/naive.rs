@@ -97,11 +97,7 @@ impl NaiveParallelLouvain {
             .cloned()
             .unwrap_or_else(|| Partition::singletons(n));
         LouvainResult {
-            final_modularity: if levels.is_empty() {
-                q_prev
-            } else {
-                levels.last().unwrap().modularity
-            },
+            final_modularity: levels.last().map_or(q_prev, |l| l.modularity),
             levels,
             level_partitions,
             final_partition,
@@ -145,10 +141,7 @@ impl NaiveParallelLouvain {
                             None => comms.push((c, w)),
                         }
                     }
-                    let w_old = comms
-                        .iter()
-                        .find(|e| e.0 == c_old)
-                        .map_or(0.0, |e| e.1);
+                    let w_old = comms.iter().find(|e| e.0 == c_old).map_or(0.0, |e| e.1);
                     // Stay gain: reinsertion into c_old with u removed.
                     let mut best_c = c_old;
                     let mut best =
@@ -245,7 +238,10 @@ mod tests {
         // Evidence of oscillation: the first level burned its whole
         // iteration budget and move fractions barely decay.
         let lvl0 = &naive.levels[0];
-        assert_eq!(lvl0.inner_iterations, NaiveConfig::default().max_inner_iterations);
+        assert_eq!(
+            lvl0.inner_iterations,
+            NaiveConfig::default().max_inner_iterations
+        );
         assert!(lvl0.move_fractions[4] > 0.3, "{:?}", lvl0.move_fractions);
     }
 

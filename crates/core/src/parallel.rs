@@ -39,7 +39,7 @@ use louvain_graph::partition1d::ModuloPartition;
 use louvain_hash::{pack_key, unpack_key, EdgeTable};
 use louvain_metrics::Partition;
 use louvain_runtime::{run_with_config, CommStats, RankCtx, RuntimeConfig};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// 16-byte POD message: two ids and a weight. The meaning of `(a, b, w)`
@@ -328,7 +328,7 @@ impl ParallelLouvain {
         let best_level = levels
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.modularity.partial_cmp(&b.1.modularity).unwrap())
+            .max_by(|a, b| a.1.modularity.total_cmp(&b.1.modularity))
             .map(|(i, _)| i);
         let final_modularity = best_level.map_or(0.0, |i| levels[i].modularity);
         let timers = rank_outputs
@@ -348,7 +348,9 @@ impl ParallelLouvain {
         let sim_first_level_units = rank_outputs[0].sim_first_level_units;
         let comm_breakdown = rank_outputs
             .iter()
-            .fold(CommBreakdown::default(), |acc, r| acc.sum(&r.comm_breakdown));
+            .fold(CommBreakdown::default(), |acc, r| {
+                acc.sum(&r.comm_breakdown)
+            });
 
         ParallelResult {
             result: LouvainResult {
@@ -371,11 +373,7 @@ impl ParallelLouvain {
 }
 
 /// The per-rank driver: Algorithm 2.
-fn rank_main(
-    ctx: &mut RankCtx<'_, Msg>,
-    input: &RunInput<'_>,
-    cfg: &ParallelConfig,
-) -> RankOutput {
+fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelConfig) -> RankOutput {
     let mut timers = PhaseTimers::new();
     let mut inner_timings: Vec<InnerIterationTiming> = Vec::new();
     let mut comm = CommBreakdown::default();
@@ -555,8 +553,22 @@ fn build_initial_level_distributed(
                     },
                 );
             } else {
-                ex.send(part.owner(e.v), Msg { a: e.u, b: e.v, w: e.w });
-                ex.send(part.owner(e.u), Msg { a: e.v, b: e.u, w: e.w });
+                ex.send(
+                    part.owner(e.v),
+                    Msg {
+                        a: e.u,
+                        b: e.v,
+                        w: e.w,
+                    },
+                );
+                ex.send(
+                    part.owner(e.u),
+                    Msg {
+                        a: e.v,
+                        b: e.u,
+                        w: e.w,
+                    },
+                );
             }
         }
         ex.finish(|m| {
@@ -686,11 +698,10 @@ fn refine(
             // the paper's ε threshold, which throttles volume but cannot
             // break exact two-cycles. Part of the convergence machinery,
             // so disabled in the no-heuristic ablation.
-            if cfg.use_heuristic
-                && size_snap[c_new as usize] == 1.0
-                && size_snap[c_u as usize] == 1.0
-                && c_new > c_u
-            {
+            #[allow(clippy::float_cmp)]
+            // lint: allow(F1) — community sizes are exact small-integer-valued f64 counters
+            let singles = size_snap[c_new as usize] == 1.0 && size_snap[c_u as usize] == 1.0;
+            if cfg.use_heuristic && singles && c_new > c_u {
                 continue;
             }
             let gain =
@@ -743,8 +754,7 @@ fn refine(
                     // is exactly the chaotic motion of Section III.
                     if cfg.use_heuristic {
                         let a_uu = in_table.get(pack_key(u, u)).unwrap_or(0.0);
-                        let w_old =
-                            out_table.get(pack_key(u, c_old)).unwrap_or(0.0) - a_uu;
+                        let w_old = out_table.get(pack_key(u, c_old)).unwrap_or(0.0) - a_uu;
                         let w_new = out_table.get(pack_key(u, c_new)).unwrap_or(0.0);
                         let gain = dq::move_gain(
                             w_old,
@@ -911,6 +921,7 @@ fn compute_modularity(
     let mut q_local = 0.0;
     for li in 0..lvl.internal.len() {
         let tot = lvl.tot[li];
+        // lint: allow(F1) — exact zero sentinel: empty communities carry Σ_tot = 0.0 exactly
         if tot != 0.0 {
             q_local += lvl.internal[li] / s - (tot / s) * (tot / s);
         }
@@ -955,13 +966,22 @@ fn reconstruct(
     let n_next: usize = counts.iter().map(|&c| c as usize).sum();
 
     // 3. Replicate the old→new mapping (each owner broadcasts its pairs).
-    let mut map: HashMap<u32, u32> = HashMap::with_capacity(n_next);
+    // BTreeMap: lookups below must not depend on hash-seed iteration order,
+    // and the map is also walked when debugging — keep it ordered.
+    let mut map: BTreeMap<u32, u32> = BTreeMap::new();
     {
         let mut ex = ctx.exchange();
         for (i, &c) in owned.iter().enumerate() {
             let new_id = (offset + i) as u32;
             for dest in 0..p {
-                ex.send(dest, Msg { a: c, b: new_id, w: 0.0 });
+                ex.send(
+                    dest,
+                    Msg {
+                        a: c,
+                        b: new_id,
+                        w: 0.0,
+                    },
+                );
             }
         }
         ex.finish(|m| {

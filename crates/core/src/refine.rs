@@ -33,7 +33,11 @@ pub struct Refinement {
 /// at `max_sweeps`). Modularity never decreases.
 #[must_use]
 pub fn refine_partition(g: &CsrGraph, start: &Partition, max_sweeps: usize) -> Refinement {
-    assert_eq!(g.num_vertices(), start.num_vertices(), "partition size mismatch");
+    assert_eq!(
+        g.num_vertices(),
+        start.num_vertices(),
+        "partition size mismatch"
+    );
     let n = g.num_vertices();
     let s = g.total_arc_weight();
     let q_before = modularity(g, start);
@@ -66,6 +70,7 @@ pub fn refine_partition(g: &CsrGraph, start: &Partition, max_sweeps: usize) -> R
                         continue;
                     }
                     let c = labels[v as usize];
+                    // lint: allow(F1) — exact zero sentinel: slot was reset to 0.0 above
                     if neigh_w[c as usize] == 0.0 {
                         touched.push(c);
                     }
@@ -140,8 +145,7 @@ mod tests {
             .edges
             .to_csr();
         for k in [2u32, 5, 20] {
-            let start =
-                Partition::from_labels(&(0..1500u32).map(|v| v % k).collect::<Vec<_>>());
+            let start = Partition::from_labels(&(0..1500u32).map(|v| v % k).collect::<Vec<_>>());
             let r = refine_partition(&g, &start, 32);
             assert!(
                 r.q_after >= r.q_before - 1e-12,

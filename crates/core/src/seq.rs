@@ -145,11 +145,7 @@ impl SequentialLouvain {
             .cloned()
             .unwrap_or_else(|| Partition::singletons(n));
         LouvainResult {
-            final_modularity: if levels.is_empty() {
-                q_prev
-            } else {
-                levels.last().unwrap().modularity
-            },
+            final_modularity: levels.last().map_or(q_prev, |l| l.modularity),
             levels,
             level_partitions,
             final_partition,
@@ -175,10 +171,10 @@ impl SequentialLouvain {
                 order.shuffle(&mut rng);
             }
             VertexOrder::DegreeDescending => {
-                order.sort_by(|&a, &b| g.degree(b).partial_cmp(&g.degree(a)).unwrap());
+                order.sort_by(|&a, &b| g.degree(b).total_cmp(&g.degree(a)));
             }
             VertexOrder::DegreeAscending => {
-                order.sort_by(|&a, &b| g.degree(a).partial_cmp(&g.degree(b)).unwrap());
+                order.sort_by(|&a, &b| g.degree(a).total_cmp(&g.degree(b)));
             }
         }
 
@@ -211,6 +207,7 @@ impl SequentialLouvain {
                         continue; // self-loop is not a link to a co-member
                     }
                     let c = labels[v as usize];
+                    // lint: allow(F1) — exact zero sentinel: slot was reset to 0.0 above
                     if neigh_w[c as usize] == 0.0 {
                         touched.push(c);
                     }
@@ -355,10 +352,7 @@ mod tests {
         let (el, truth) = generate_planted(&cfg, 3);
         let g = el.to_csr();
         let r = SequentialLouvain::new(SeqConfig::default()).run(&g);
-        let sim = nmi(
-            &Partition::from_labels(&truth),
-            &r.final_partition,
-        );
+        let sim = nmi(&Partition::from_labels(&truth), &r.final_partition);
         assert!(sim > 0.95, "NMI vs planted truth: {sim}");
     }
 

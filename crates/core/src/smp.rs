@@ -105,7 +105,7 @@ impl SmpLouvain {
         let best = levels
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.modularity.partial_cmp(&b.1.modularity).unwrap())
+            .max_by(|a, b| a.1.modularity.total_cmp(&b.1.modularity))
             .map(|(i, _)| i);
         let final_partition = best
             .and_then(|i| level_partitions.get(i).cloned())
@@ -163,8 +163,7 @@ impl SmpLouvain {
                         }
                     }
                     let w_old = comms.iter().find(|e| e.0 == c_old).map_or(0.0, |e| e.1);
-                    let stay =
-                        insert_gain_scaled(w_old, k_u, tot_snap[c_old as usize] - k_u, s);
+                    let stay = insert_gain_scaled(w_old, k_u, tot_snap[c_old as usize] - k_u, s);
                     let mut best_c = c_old;
                     let mut best_gain_scaled = stay;
                     for &(c, w) in &comms {
@@ -172,9 +171,7 @@ impl SmpLouvain {
                             continue;
                         }
                         // Singleton swap guard (minimum-label rule).
-                        if size_snap[c as usize] == 1
-                            && size_snap[c_old as usize] == 1
-                            && c > c_old
+                        if size_snap[c as usize] == 1 && size_snap[c_old as usize] == 1 && c > c_old
                         {
                             continue;
                         }
@@ -205,7 +202,7 @@ impl SmpLouvain {
                 0.0
             } else {
                 let idx = gains.len() - keep;
-                gains.select_nth_unstable_by(idx, |a, b| a.partial_cmp(b).unwrap());
+                gains.select_nth_unstable_by(idx, |a, b| a.total_cmp(b));
                 gains[idx]
             };
 
@@ -261,8 +258,7 @@ impl SmpLouvain {
             q_trace.push(q);
             let fraction = moves as f64 / n as f64;
             if iter > 1
-                && (q - q_prev < self.cfg.min_improvement
-                    || fraction < self.cfg.min_move_fraction)
+                && (q - q_prev < self.cfg.min_improvement || fraction < self.cfg.min_move_fraction)
             {
                 break;
             }

@@ -133,11 +133,7 @@ impl CommBreakdown {
     /// Total messages across phases.
     #[must_use]
     pub fn total(&self) -> u64 {
-        self.loading
-            + self.state_propagation
-            + self.update
-            + self.modularity
-            + self.reconstruction
+        self.loading + self.state_propagation + self.update + self.modularity + self.reconstruction
     }
 
     /// Element-wise sum (aggregation across ranks).

@@ -7,6 +7,7 @@
 //! of the paper's hash tables).
 
 use crate::{VertexId, Weight};
+use louvain_hash::pack_key;
 
 /// A single undirected weighted edge.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -117,8 +118,7 @@ impl EdgeListBuilder {
     #[must_use]
     pub fn build(mut self) -> EdgeList {
         // Sort by packed key; merge runs.
-        self.raw
-            .sort_unstable_by_key(|e| ((e.u as u64) << 32) | e.v as u64);
+        self.raw.sort_unstable_by_key(|e| pack_key(e.u, e.v));
         let mut edges: Vec<Edge> = Vec::with_capacity(self.raw.len());
         for e in self.raw {
             match edges.last_mut() {

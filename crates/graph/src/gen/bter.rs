@@ -22,6 +22,7 @@
 use crate::edgelist::{EdgeList, EdgeListBuilder};
 use crate::gen::powerlaw;
 use crate::VertexId;
+use louvain_hash::pack_key;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -79,7 +80,8 @@ pub fn generate_bter(cfg: &BterConfig, seed: u64) -> (EdgeList, Vec<u32>) {
     // Affinity blocks: a block led by a vertex of degree d has d+1 members.
     let rho = cfg.gcc.powf(1.0 / 3.0).min(0.999);
     let mut block = vec![0u32; cfg.n];
-    let mut b = EdgeListBuilder::with_capacity(cfg.n, (cfg.n as f64 * cfg.avg_degree / 2.0) as usize);
+    let mut b =
+        EdgeListBuilder::with_capacity(cfg.n, (cfg.n as f64 * cfg.avg_degree / 2.0) as usize);
     let mut seen: HashSet<u64> = HashSet::new();
     let mut expected_in_block = vec![0.0f64; cfg.n];
     let mut v = 0usize;
@@ -94,7 +96,7 @@ pub fn generate_bter(cfg: &BterConfig, seed: u64) -> (EdgeList, Vec<u32>) {
         for i in v..v + size {
             for j in (i + 1)..v + size {
                 if rng.gen::<f64>() < rho {
-                    let key = ((i as u64) << 32) | j as u64;
+                    let key = pack_key(i as u32, j as u32);
                     if seen.insert(key) {
                         b.add_edge(i as VertexId, j as VertexId, 1.0);
                     }
@@ -120,7 +122,7 @@ pub fn generate_bter(cfg: &BterConfig, seed: u64) -> (EdgeList, Vec<u32>) {
         }
         let draw = |rng: &mut StdRng, cdf: &[f64]| -> usize {
             let x: f64 = rng.gen::<f64>() * acc;
-            match cdf.binary_search_by(|p| p.partial_cmp(&x).unwrap()) {
+            match cdf.binary_search_by(|p| p.total_cmp(&x)) {
                 Ok(i) | Err(i) => i.min(cdf.len() - 1),
             }
         };
@@ -136,7 +138,7 @@ pub fn generate_bter(cfg: &BterConfig, seed: u64) -> (EdgeList, Vec<u32>) {
                 continue;
             }
             let (lo_v, hi_v) = if u < w { (u, w) } else { (w, u) };
-            let key = ((lo_v as u64) << 32) | hi_v as u64;
+            let key = pack_key(lo_v as u32, hi_v as u32);
             if seen.insert(key) {
                 b.add_edge(lo_v as VertexId, hi_v as VertexId, 1.0);
                 created += 1;

@@ -2,6 +2,7 @@
 
 use crate::edgelist::{EdgeList, EdgeListBuilder};
 use crate::VertexId;
+use louvain_hash::pack_key;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -23,7 +24,7 @@ pub fn generate_gnm(n: usize, m: usize, seed: u64) -> EdgeList {
             continue;
         }
         let (lo, hi) = if u < v { (u, v) } else { (v, u) };
-        let key = ((lo as u64) << 32) | hi as u64;
+        let key = pack_key(lo, hi);
         if seen.insert(key) {
             b.add_edge(lo, hi, 1.0);
         }

@@ -18,6 +18,7 @@
 use crate::edgelist::{EdgeList, EdgeListBuilder};
 use crate::gen::powerlaw;
 
+use louvain_hash::pack_key;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -88,7 +89,10 @@ pub struct LfrGraph {
 /// ```
 #[must_use]
 pub fn generate_lfr(cfg: &LfrConfig, seed: u64) -> LfrGraph {
-    assert!(cfg.n >= 2 * cfg.min_community, "n too small for communities");
+    assert!(
+        cfg.n >= 2 * cfg.min_community,
+        "n too small for communities"
+    );
     assert!((0.0..1.0).contains(&cfg.mu), "mu must be in [0, 1)");
     assert!(cfg.min_community <= cfg.max_community);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -127,23 +131,21 @@ pub fn generate_lfr(cfg: &LfrConfig, seed: u64) -> LfrGraph {
     for (v, &c) in truth.iter().enumerate() {
         members[c as usize].push(v as u32);
     }
-    let mut b = EdgeListBuilder::with_capacity(
-        cfg.n,
-        (cfg.n as f64 * cfg.avg_degree / 2.0) as usize + 16,
-    );
+    let mut b =
+        EdgeListBuilder::with_capacity(cfg.n, (cfg.n as f64 * cfg.avg_degree / 2.0) as usize + 16);
     let mut seen: HashSet<u64> = HashSet::new();
     let mut internal_endpoints = 0usize;
     for mem in &members {
-        internal_endpoints +=
-            pair_stubs(mem, &d_int, &mut b, &mut seen, &mut rng, None);
+        internal_endpoints += pair_stubs(mem, &d_int, &mut b, &mut seen, &mut rng, None);
     }
 
     // 6. External edges: global configuration model rejecting
     //    intra-community pairs.
-    let d_ext: Vec<usize> = (0..cfg.n).map(|v| degrees[v].saturating_sub(d_int[v])).collect();
+    let d_ext: Vec<usize> = (0..cfg.n)
+        .map(|v| degrees[v].saturating_sub(d_int[v]))
+        .collect();
     let all: Vec<u32> = (0..cfg.n as u32).collect();
-    let external_endpoints =
-        pair_stubs(&all, &d_ext, &mut b, &mut seen, &mut rng, Some(&truth));
+    let external_endpoints = pair_stubs(&all, &d_ext, &mut b, &mut seen, &mut rng, Some(&truth));
 
     let edges = b.build();
     let realized_mu = if internal_endpoints + external_endpoints == 0 {
@@ -175,9 +177,11 @@ fn community_sizes(cfg: &LfrConfig, rng: &mut StdRng) -> Vec<usize> {
     if sizes[last] > over + cfg.min_community - 1 {
         sizes[last] -= over;
     } else if sizes.len() >= 2 {
-        let s = sizes.pop().unwrap();
+        let s = sizes.pop().unwrap_or_default();
         let keep = s - over;
-        *sizes.last_mut().unwrap() += keep;
+        if let Some(prev) = sizes.last_mut() {
+            *prev += keep;
+        }
     } else {
         sizes[0] = cfg.n;
     }
@@ -259,15 +263,14 @@ fn pair_stubs(
         while i + 1 < pool.len() {
             let (u, v) = (pool[i], pool[i + 1]);
             i += 2;
-            let bad = u == v
-                || forbid_same.is_some_and(|t| t[u as usize] == t[v as usize]);
+            let bad = u == v || forbid_same.is_some_and(|t| t[u as usize] == t[v as usize]);
             if bad {
                 rejects.push(u);
                 rejects.push(v);
                 continue;
             }
             let (lo, hi) = if u < v { (u, v) } else { (v, u) };
-            let key = ((lo as u64) << 32) | hi as u64;
+            let key = pack_key(lo, hi);
             if seen.insert(key) {
                 b.add_edge(lo, hi, 1.0);
                 matched += 2;

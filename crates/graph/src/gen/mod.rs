@@ -26,9 +26,9 @@ pub mod powerlaw;
 pub mod rmat;
 pub mod ws;
 
-pub use bter::{BterConfig, generate_bter};
+pub use bter::{generate_bter, BterConfig};
 pub use er::{generate_gnm, generate_gnp};
-pub use lfr::{LfrConfig, LfrGraph, generate_lfr};
-pub use planted::{PlantedConfig, generate_planted};
-pub use rmat::{RmatConfig, generate_rmat, generate_rmat_chunk};
-pub use ws::{WsConfig, generate_ws};
+pub use lfr::{generate_lfr, LfrConfig, LfrGraph};
+pub use planted::{generate_planted, PlantedConfig};
+pub use rmat::{generate_rmat, generate_rmat_chunk, RmatConfig};
+pub use ws::{generate_ws, WsConfig};

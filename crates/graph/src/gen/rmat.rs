@@ -82,9 +82,7 @@ pub fn generate_rmat_chunk(
     let n = cfg.num_vertices();
     let m_total = cfg.num_edges_raw();
     let m = m_total / num_chunks + usize::from(chunk < m_total % num_chunks);
-    let mut rng = StdRng::seed_from_u64(
-        seed ^ (chunk as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-    );
+    let mut rng = StdRng::seed_from_u64(seed ^ (chunk as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut b = EdgeListBuilder::with_capacity(n, m);
     let ab = cfg.a + cfg.b;
     let abc = ab + cfg.c;

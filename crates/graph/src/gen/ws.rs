@@ -9,6 +9,7 @@
 
 use crate::edgelist::{EdgeList, EdgeListBuilder};
 use crate::VertexId;
+use louvain_hash::pack_key;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -27,7 +28,10 @@ pub struct WsConfig {
 /// Generates a Watts–Strogatz graph.
 #[must_use]
 pub fn generate_ws(cfg: &WsConfig, seed: u64) -> EdgeList {
-    assert!(cfg.k.is_multiple_of(2) && cfg.k >= 2, "k must be even and >= 2");
+    assert!(
+        cfg.k.is_multiple_of(2) && cfg.k >= 2,
+        "k must be even and >= 2"
+    );
     assert!(cfg.k < cfg.n, "k must be below n");
     assert!((0.0..=1.0).contains(&cfg.beta));
     let mut rng = StdRng::seed_from_u64(seed);
@@ -37,7 +41,7 @@ pub fn generate_ws(cfg: &WsConfig, seed: u64) -> EdgeList {
     let mut present = std::collections::HashSet::with_capacity(cfg.n * cfg.k);
     let key = |a: u32, b: u32| {
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        ((lo as u64) << 32) | hi as u64
+        pack_key(lo, hi)
     };
     for u in 0..n {
         for j in 1..=(cfg.k / 2) as u32 {
@@ -104,10 +108,7 @@ mod tests {
         .to_csr();
         let expect = 3.0 * (k as f64 - 2.0) / (4.0 * (k as f64 - 1.0));
         let got = sampled_gcc(&g, 40_000, 3);
-        assert!(
-            (got - expect).abs() < 0.02,
-            "GCC {got} vs formula {expect}"
-        );
+        assert!((got - expect).abs() < 0.02, "GCC {got} vs formula {expect}");
     }
 
     #[test]

@@ -61,8 +61,7 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<EdgeList, IoError> {
             continue;
         }
         let mut it = t.split_whitespace();
-        let parse =
-            |s: Option<&str>| s.and_then(|x| x.parse::<u32>().ok());
+        let parse = |s: Option<&str>| s.and_then(|x| x.parse::<u32>().ok());
         let (u, v) = match (parse(it.next()), parse(it.next())) {
             (Some(u), Some(v)) => (u, v),
             _ => return Err(IoError::Parse(idx + 1, line.clone())),

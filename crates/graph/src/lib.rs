@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 //! Graph types, partitioning and synthetic-graph generators for the
 //! parallel Louvain reproduction.

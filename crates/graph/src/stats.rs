@@ -105,7 +105,7 @@ pub fn sampled_gcc(g: &CsrGraph, samples: usize, seed: u64) -> f64 {
     let mut closed = 0usize;
     for _ in 0..samples {
         let x: f64 = rng.gen::<f64>() * acc;
-        let u = match cdf.binary_search_by(|p| p.partial_cmp(&x).unwrap()) {
+        let u = match cdf.binary_search_by(|p| p.total_cmp(&x)) {
             Ok(i) | Err(i) => i.min(n - 1),
         } as u32;
         let deg = g.arc_count(u);
@@ -117,8 +117,9 @@ pub fn sampled_gcc(g: &CsrGraph, samples: usize, seed: u64) -> f64 {
         if j >= i {
             j += 1;
         }
-        let a = g.neighbors(u).nth(i).unwrap().0;
-        let b = g.neighbors(u).nth(j).unwrap().0;
+        let (Some((a, _)), Some((b, _))) = (g.neighbors(u).nth(i), g.neighbors(u).nth(j)) else {
+            continue; // unreachable: i, j < deg by construction
+        };
         if a == b || a == u || b == u {
             continue; // multi-edge / loop artifacts don't close wedges
         }

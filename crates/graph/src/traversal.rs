@@ -107,7 +107,9 @@ pub fn estimate_diameter(g: &CsrGraph, sweeps: usize, seed: u64) -> u32 {
     let mut best = 0u32;
     let mut state = seed | 1;
     for _ in 0..sweeps.max(1) {
-        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        state = state
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1);
         let start = ((state >> 33) as usize % n) as u32;
         if g.arc_count(start) == 0 {
             continue;

@@ -252,8 +252,14 @@ mod tests {
     #[test]
     fn hashkind_matches_concrete_impls() {
         for key in [0u64, 17, u64::MAX / 3] {
-            assert_eq!(HashKind::Fibonacci.bin(key, 777), FibonacciHash.bin(key, 777));
-            assert_eq!(HashKind::Lcg.bin(key, 777), LcgHash::default().bin(key, 777));
+            assert_eq!(
+                HashKind::Fibonacci.bin(key, 777),
+                FibonacciHash.bin(key, 777)
+            );
+            assert_eq!(
+                HashKind::Lcg.bin(key, 777),
+                LcgHash::default().bin(key, 777)
+            );
             assert_eq!(HashKind::Bitwise.bin(key, 777), BitwiseHash.bin(key, 777));
             assert_eq!(HashKind::Concat.bin(key, 777), ConcatHash.bin(key, 777));
         }

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 //! Hash functions and edge hash tables for the parallel Louvain algorithm.
 //!

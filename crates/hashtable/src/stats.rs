@@ -138,10 +138,7 @@ mod tests {
         let slots: Vec<u64> = (0..100).map(|i| if i % 3 == 0 { E } else { i }).collect();
         let s = OccupancyStats::from_slots(&slots, E, 7);
         assert_eq!(s.entries_per_slice.len(), 7);
-        assert_eq!(
-            s.total_entries(),
-            slots.iter().filter(|&&k| k != E).count()
-        );
+        assert_eq!(s.total_entries(), slots.iter().filter(|&&k| k != E).count());
     }
 
     #[test]

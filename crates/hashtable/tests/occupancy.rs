@@ -72,6 +72,10 @@ fn reset_for_then_reuse_many_cycles() {
             t.accumulate(pack_key(i, level as u32), 1.0);
         }
         assert_eq!(t.len(), entries);
-        assert!(t.load_factor() <= 0.26, "level {level}: {}", t.load_factor());
+        assert!(
+            t.load_factor() <= 0.26,
+            "level {level}: {}",
+            t.load_factor()
+        );
     }
 }

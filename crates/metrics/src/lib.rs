@@ -1,4 +1,10 @@
 #![warn(missing_docs)]
+// F1's clippy-side complement: flags every float `==`/`!=`, including the
+// variable-to-variable comparisons the token-based pass cannot see.
+#![warn(clippy::float_cmp)]
+// Tests assert exact expected values on purpose (integer-weight graphs
+// make the metric sums exact); the production build keeps the warning.
+#![cfg_attr(test, allow(clippy::float_cmp))]
 
 //! Community-quality and partition-similarity metrics.
 //!
@@ -27,10 +33,10 @@ pub mod size_dist;
 pub use evolution::evolution_ratio;
 pub use modularity::{community_aggregates, modularity, CommunityAggregates};
 pub use partition::Partition;
+pub use quality::{conductance, coverage, performance, variation_of_information};
+pub use report::{CommunitySummary, PartitionReport};
 pub use similarity::{
     adjusted_rand_index, f_measure, jaccard_index, nmi, normalized_van_dongen, rand_index,
     SimilarityReport,
 };
-pub use quality::{conductance, coverage, performance, variation_of_information};
-pub use report::{CommunitySummary, PartitionReport};
 pub use size_dist::{log_binned_histogram, SizeDistribution};

@@ -23,7 +23,11 @@ pub struct CommunityAggregates {
 /// Computes `Σ_in` and `Σ_tot` for every community.
 #[must_use]
 pub fn community_aggregates(g: &CsrGraph, p: &Partition) -> CommunityAggregates {
-    assert_eq!(g.num_vertices(), p.num_vertices(), "partition size mismatch");
+    assert_eq!(
+        g.num_vertices(),
+        p.num_vertices(),
+        "partition size mismatch"
+    );
     let k = p.num_communities();
     let mut internal = vec![0.0f64; k];
     let mut total = vec![0.0f64; k];

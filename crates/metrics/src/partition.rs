@@ -26,7 +26,9 @@ impl Partition {
     /// appearance.
     #[must_use]
     pub fn from_labels(raw: &[u32]) -> Self {
-        let mut map = std::collections::HashMap::with_capacity(raw.len() / 4 + 1);
+        // BTreeMap keeps this path free of hash-seed-dependent state; the
+        // densification itself is first-appearance order either way.
+        let mut map = std::collections::BTreeMap::new();
         let mut labels = Vec::with_capacity(raw.len());
         for &r in raw {
             let next = map.len() as u32;
@@ -117,11 +119,7 @@ impl Partition {
             self.num_communities,
             "coarser partition must cover this partition's communities"
         );
-        let raw: Vec<u32> = self
-            .labels
-            .iter()
-            .map(|&l| coarser.community(l))
-            .collect();
+        let raw: Vec<u32> = self.labels.iter().map(|&l| coarser.community(l)).collect();
         Partition::from_labels(&raw)
     }
 }

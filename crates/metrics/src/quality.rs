@@ -91,12 +91,14 @@ pub fn variation_of_information(x: &Partition, y: &Partition) -> f64 {
         return 0.0;
     }
     let nf = n as f64;
-    let mut joint: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    // Ordered map: the mutual-information sum below must accumulate in a
+    // fixed cell order for bit-reproducible results.
+    let mut joint: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
     let mut rx = vec![0u64; x.num_communities()];
     let mut ry = vec![0u64; y.num_communities()];
     for v in 0..n as u32 {
         let (a, b) = (x.community(v), y.community(v));
-        *joint.entry(((a as u64) << 32) | b as u64).or_insert(0) += 1;
+        *joint.entry(louvain_hash::pack_key(a, b)).or_insert(0) += 1;
         rx[a as usize] += 1;
         ry[b as usize] += 1;
     }
@@ -114,7 +116,8 @@ pub fn variation_of_information(x: &Partition, y: &Partition) -> f64 {
     let hy = h(&ry);
     let mut mi = 0.0;
     for (&key, &c) in &joint {
-        let (a, b) = ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize);
+        let (ka, kb) = louvain_hash::unpack_key(key);
+        let (a, b) = (ka as usize, kb as usize);
         let pij = c as f64 / nf;
         mi += pij * (nf * c as f64 / (rx[a] as f64 * ry[b] as f64)).ln();
     }

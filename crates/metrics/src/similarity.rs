@@ -13,13 +13,18 @@
 //! of the paper).
 
 use crate::partition::Partition;
-use std::collections::HashMap;
+use louvain_hash::{pack_key, unpack_key};
+use std::collections::BTreeMap;
 
 /// Sparse contingency table between two partitions of the same vertex set.
+///
+/// Cells live in a `BTreeMap` so every iteration below visits them in key
+/// order: the floating-point sums in `nmi`/`f_measure` then accumulate in a
+/// fixed order, independent of any hash seed.
 struct Contingency {
     n: usize,
     /// `(x_label, y_label) -> count`, keys packed into u64.
-    cells: HashMap<u64, u64>,
+    cells: BTreeMap<u64, u64>,
     rows: Vec<u64>,
     cols: Vec<u64>,
 }
@@ -32,16 +37,28 @@ impl Contingency {
             "partitions must cover the same vertex set"
         );
         let n = x.num_vertices();
-        let mut cells: HashMap<u64, u64> = HashMap::new();
+        let mut cells: BTreeMap<u64, u64> = BTreeMap::new();
         let mut rows = vec![0u64; x.num_communities()];
         let mut cols = vec![0u64; y.num_communities()];
         for v in 0..n as u32 {
             let (a, b) = (x.community(v), y.community(v));
-            *cells.entry(((a as u64) << 32) | b as u64).or_insert(0) += 1;
+            *cells.entry(pack_key(a, b)).or_insert(0) += 1;
             rows[a as usize] += 1;
             cols[b as usize] += 1;
         }
-        Self { n, cells, rows, cols }
+        Self {
+            n,
+            cells,
+            rows,
+            cols,
+        }
+    }
+
+    /// Unpacked `(row, col)` of a cell key.
+    #[inline]
+    fn cell_rc(key: u64) -> (usize, usize) {
+        let (a, b) = unpack_key(key);
+        (a as usize, b as usize)
     }
 }
 
@@ -65,6 +82,7 @@ fn pair_counts(c: &Contingency) -> (f64, f64, f64, f64) {
 pub fn rand_index(x: &Partition, y: &Partition) -> f64 {
     let c = Contingency::new(x, y);
     let (s11, sx, sy, total) = pair_counts(&c);
+    // lint: allow(F1) — exact zero sentinel: choose2(n) is exactly 0.0 iff n ≤ 1
     if total == 0.0 {
         return 1.0;
     }
@@ -77,6 +95,7 @@ pub fn rand_index(x: &Partition, y: &Partition) -> f64 {
 pub fn adjusted_rand_index(x: &Partition, y: &Partition) -> f64 {
     let c = Contingency::new(x, y);
     let (s11, sx, sy, total) = pair_counts(&c);
+    // lint: allow(F1) — exact zero sentinel: choose2(n) is exactly 0.0 iff n ≤ 1
     if total == 0.0 {
         return 1.0;
     }
@@ -111,12 +130,13 @@ pub fn nmi(x: &Partition, y: &Partition) -> f64 {
     let n = c.n as f64;
     let hx: f64 = entropy(&c.rows, n);
     let hy: f64 = entropy(&c.cols, n);
+    // lint: allow(F1) — exact zero sentinel: entropy is exactly 0.0 iff one cluster
     if hx == 0.0 && hy == 0.0 {
         return 1.0; // both trivial single-cluster partitions
     }
     let mut mi = 0.0;
     for (&key, &count) in &c.cells {
-        let (a, b) = ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize);
+        let (a, b) = Contingency::cell_rc(key);
         let nij = count as f64;
         if nij > 0.0 {
             let pij = nij / n;
@@ -148,7 +168,7 @@ pub fn f_measure(x: &Partition, y: &Partition) -> f64 {
     // best F1 per row.
     let mut best = vec![0.0f64; c.rows.len()];
     for (&key, &count) in &c.cells {
-        let (a, b) = ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize);
+        let (a, b) = Contingency::cell_rc(key);
         let f1 = 2.0 * count as f64 / (c.rows[a] as f64 + c.cols[b] as f64);
         if f1 > best[a] {
             best[a] = f1;
@@ -175,7 +195,7 @@ pub fn normalized_van_dongen(x: &Partition, y: &Partition) -> f64 {
     let mut row_max = vec![0u64; c.rows.len()];
     let mut col_max = vec![0u64; c.cols.len()];
     for (&key, &count) in &c.cells {
-        let (a, b) = ((key >> 32) as usize, (key & 0xFFFF_FFFF) as usize);
+        let (a, b) = Contingency::cell_rc(key);
         row_max[a] = row_max[a].max(count);
         col_max[b] = col_max[b].max(count);
     }

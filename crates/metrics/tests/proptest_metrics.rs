@@ -2,12 +2,10 @@
 //! brute-force definitions on small instances.
 
 use louvain_graph::edgelist::EdgeListBuilder;
+use louvain_metrics::modularity;
 use louvain_metrics::partition::Partition;
 use louvain_metrics::quality::variation_of_information;
-use louvain_metrics::similarity::{
-    adjusted_rand_index, jaccard_index, nmi, rand_index,
-};
-use louvain_metrics::modularity;
+use louvain_metrics::similarity::{adjusted_rand_index, jaccard_index, nmi, rand_index};
 use proptest::prelude::*;
 
 fn arb_labels(n: usize, k: u32) -> impl Strategy<Value = Vec<u32>> {

@@ -181,9 +181,9 @@ mod tests {
             let all_true = ctx.allreduce_all(true);
             (s, any, all, all_true)
         });
-        assert!(out.iter().all(|&(s, any, all, at)| {
-            s == 6 && any && !all && at
-        }));
+        assert!(out
+            .iter()
+            .all(|&(s, any, all, at)| { s == 6 && any && !all && at }));
     }
 
     #[test]

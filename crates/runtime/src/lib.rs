@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
 
 //! A simulated distributed-memory runtime for fine-grained graph
 //! algorithms.

@@ -171,6 +171,7 @@ where
             .collect();
         handles
             .into_iter()
+            // lint: allow(P1) — re-raising a rank thread's panic on the parent is the intended behavior
             .map(|h| h.join().expect("rank thread panicked"))
             .collect()
     });

@@ -100,3 +100,64 @@ fn results_returned_in_rank_order() {
         assert!(v.iter().all(|&x| x == r));
     }
 }
+
+/// End-to-end determinism of the full distributed solver on top of this
+/// runtime: running `ParallelLouvain` twice on the same seeded graph must
+/// produce bit-identical modularity traces and final partitions. This is
+/// the property the lint pass (rule D1) and the commutative-accumulation
+/// discipline of the exchange layer exist to protect.
+#[test]
+fn parallel_louvain_bit_identical_across_repeat_runs() {
+    use louvain_core::parallel::{ParallelConfig, ParallelLouvain};
+    use louvain_graph::gen::planted::{generate_planted, PlantedConfig};
+
+    let (edges, _truth) = generate_planted(
+        &PlantedConfig {
+            communities: 6,
+            community_size: 20,
+            p_in: 0.35,
+            p_out: 0.02,
+        },
+        42,
+    );
+
+    for ranks in [2usize, 4] {
+        let solve = || ParallelLouvain::new(ParallelConfig::with_ranks(ranks)).run(&edges);
+        let a = solve();
+        let b = solve();
+
+        // Per-level modularity and the inner-loop Q traces must agree to
+        // the last bit — `assert_eq!` on f64 is exactly the point here.
+        let traces = |r: &louvain_core::parallel::ParallelResult| {
+            r.result
+                .levels
+                .iter()
+                .map(|l| (l.modularity.to_bits(), trace_bits(&l.q_trace)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            traces(&a),
+            traces(&b),
+            "{ranks} ranks: modularity traces diverged between identical runs"
+        );
+        assert_eq!(
+            a.result.final_modularity.to_bits(),
+            b.result.final_modularity.to_bits(),
+            "{ranks} ranks: final modularity diverged"
+        );
+        assert_eq!(
+            a.result.final_partition, b.result.final_partition,
+            "{ranks} ranks: final partitions diverged"
+        );
+        assert_eq!(
+            a.result.level_partitions, b.result.level_partitions,
+            "{ranks} ranks: per-level partitions diverged"
+        );
+    }
+}
+
+/// Bit-pattern view of a Q trace, so equality is exact rather than
+/// tolerance-based.
+fn trace_bits(trace: &[f64]) -> Vec<u64> {
+    trace.iter().map(|q| q.to_bits()).collect()
+}

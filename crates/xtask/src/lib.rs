@@ -1,0 +1,29 @@
+//! `louvain-lint`: workspace-specific static analysis.
+//!
+//! The paper's headline claims (ε-thresholded convergence in Section IV,
+//! the reproducible scaling numbers of Section V-B) hold only if the
+//! reproduction is actually deterministic and floating-point-sound. This
+//! crate enforces the invariants that protect those claims as named,
+//! suppressible lint rules over every `.rs` file in the workspace:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `D1` | no `HashMap`/`HashSet` in deterministic solver/metrics paths (`crates/core`, `crates/metrics`): randomized hashers iterate in nondeterministic order |
+//! | `F1` | no `==`/`!=` against floating-point literals outside the approved epsilon helpers (`dq.rs`, `modularity.rs`) |
+//! | `F2` | no manual `(x << 32) | y` / `key >> 32` id packing outside `crates/hashtable/src/key.rs` |
+//! | `U1` | every `unsafe` block carries a `// SAFETY:` comment |
+//! | `P1` | no `.unwrap()` / `.expect(..)` in non-test library code of `crates/{core,runtime,hashtable,graph}` |
+//! | `C1` | every crate root keeps `#![warn(missing_docs)]` and a paper-section cross-reference |
+//! | `SUP` | every suppression comment carries a non-empty reason |
+//!
+//! Suppress a finding with a comment of the form `lint: allow(D1) — reason`
+//! (any rule id in the parentheses) on the same line or the line above; the
+//! reason text is mandatory (`SUP` fires on bare suppressions). The pass is
+//! std-only and token/line-based (no `syn`), so it runs in the fully
+//! offline build container.
+
+#![warn(missing_docs)]
+
+pub mod lint;
+
+pub use lint::{lint_source, lint_workspace, Finding, Rule};

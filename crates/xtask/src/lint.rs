@@ -1,0 +1,853 @@
+//! The lint engine: a comment/string-aware line scanner plus the rule
+//! implementations described in the crate root docs.
+//!
+//! Deliberately std-only and token-based (no `syn`): the build container
+//! is offline, and every invariant checked here is expressible on the
+//! stripped token stream. The cost is a documented blind spot: `F1`
+//! only sees comparisons with a float *literal* operand (variable ==
+//! variable comparisons of `f64` need type knowledge), and test regions
+//! are recognized by the `#[cfg(test)]` file-tail convention used
+//! throughout this repo.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// A lint rule identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Nondeterministic hash container in a deterministic path.
+    D1,
+    /// Float equality against a literal outside epsilon helpers.
+    F1,
+    /// Manual 64-bit id pack/unpack outside `key.rs`.
+    F2,
+    /// `unsafe` without a `// SAFETY:` comment.
+    U1,
+    /// `unwrap`/`expect` in non-test library code.
+    P1,
+    /// Crate-root doc invariants missing.
+    C1,
+    /// Suppression comment without a reason.
+    Sup,
+}
+
+impl Rule {
+    /// All rules, in report order.
+    pub const ALL: [Rule; 7] = [
+        Rule::D1,
+        Rule::F1,
+        Rule::F2,
+        Rule::U1,
+        Rule::P1,
+        Rule::C1,
+        Rule::Sup,
+    ];
+
+    /// Stable textual id (used in reports and suppression comments).
+    #[must_use]
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::D1 => "D1",
+            Rule::F1 => "F1",
+            Rule::F2 => "F2",
+            Rule::U1 => "U1",
+            Rule::P1 => "P1",
+            Rule::C1 => "C1",
+            Rule::Sup => "SUP",
+        }
+    }
+
+    fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == id)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One reported violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+impl Finding {
+    /// Serialize as a JSON object (std-only writer).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"path\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.path),
+            self.line,
+            self.rule,
+            json_escape(&self.message)
+        )
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render findings as a JSON report: rule counts plus the finding list.
+#[must_use]
+pub fn to_json_report(findings: &[Finding]) -> String {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for rule in Rule::ALL {
+        counts.insert(rule.id(), 0);
+    }
+    for f in findings {
+        *counts.entry(f.rule.id()).or_insert(0) += 1;
+    }
+    let counts_json: Vec<String> = counts.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+    let list: Vec<String> = findings
+        .iter()
+        .map(|f| format!("    {}", f.to_json()))
+        .collect();
+    format!(
+        "{{\n  \"total\": {},\n  \"counts\": {{{}}},\n  \"findings\": [\n{}\n  ]\n}}",
+        findings.len(),
+        counts_json.join(","),
+        list.join(",\n")
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Scanner: split source into per-line (code, comment) views.
+// ---------------------------------------------------------------------------
+
+/// One source line with comments/strings separated from code.
+#[derive(Debug, Default, Clone)]
+struct LineView {
+    /// Code with comments removed and string contents blanked.
+    code: String,
+    /// Concatenated comment text on this line.
+    comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ScanState {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+}
+
+/// Strip comments and string contents, preserving line structure.
+///
+/// Handles nested block comments, escaped quotes, raw strings with up
+/// to arbitrary `#` counts, char literals, and lifetimes.
+fn scan_lines(src: &str) -> Vec<LineView> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = LineView::default();
+    let mut state = ScanState::Code;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            if state == ScanState::LineComment {
+                state = ScanState::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            ScanState::Code => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = ScanState::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = ScanState::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = ScanState::Str;
+                    i += 1;
+                } else if c == 'r' && (next == Some('"') || next == Some('#')) {
+                    // Possible raw string: r"..." or r#"..."# etc.
+                    let mut j = i + 1;
+                    let mut hashes = 0u32;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        cur.code.push('"');
+                        state = ScanState::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    // Char literal vs lifetime.
+                    let n1 = bytes.get(i + 1).copied();
+                    let n2 = bytes.get(i + 2).copied();
+                    if n1 == Some('\\') {
+                        // Escaped char literal: skip to closing quote.
+                        cur.code.push_str("' '");
+                        let mut j = i + 2;
+                        while j < bytes.len() && bytes[j] != '\'' {
+                            j += 1;
+                        }
+                        i = j + 1;
+                    } else if n2 == Some('\'') {
+                        // Plain char literal 'x'.
+                        cur.code.push_str("' '");
+                        i += 3;
+                    } else {
+                        // Lifetime.
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            ScanState::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            ScanState::BlockComment(depth) => {
+                let next = bytes.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        ScanState::Code
+                    } else {
+                        ScanState::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = ScanState::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            ScanState::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = ScanState::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            ScanState::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k as usize) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        cur.code.push('"');
+                        state = ScanState::Code;
+                        i += 1 + hashes as usize;
+                    } else {
+                        i += 1;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+// ---------------------------------------------------------------------------
+// Path classification.
+// ---------------------------------------------------------------------------
+
+/// Which rules apply to a file, derived from its workspace-relative path.
+#[derive(Debug, Clone)]
+struct FileClass {
+    /// Test-adjacent file (`tests/`, `benches/`, `examples/`): most
+    /// rules off.
+    test_context: bool,
+    /// D1 scope: deterministic solver/metrics source.
+    deterministic_path: bool,
+    /// P1 scope: library source of the four no-panic crates.
+    p1_scope: bool,
+    /// F1 exemption: approved epsilon-helper module.
+    f1_exempt: bool,
+    /// F2 exemption: the sanctioned pack/unpack module.
+    f2_exempt: bool,
+    /// C1 scope: crate-root file that must carry doc invariants.
+    crate_root: bool,
+}
+
+fn classify(rel: &str) -> FileClass {
+    let rel = rel.replace('\\', "/");
+    let in_dir = |dir: &str| -> bool {
+        rel.starts_with(&format!("{dir}/")) || rel.contains(&format!("/{dir}/"))
+    };
+    let test_context = in_dir("tests") || in_dir("benches") || in_dir("examples");
+    let deterministic_path =
+        rel.starts_with("crates/core/src/") || rel.starts_with("crates/metrics/src/");
+    let p1_scope = ["core", "runtime", "hashtable", "graph"]
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")));
+    let f1_exempt = rel.ends_with("/dq.rs") || rel.ends_with("/modularity.rs");
+    let f2_exempt = rel == "crates/hashtable/src/key.rs";
+    let crate_root = !rel.starts_with("shims/")
+        && (rel == "src/lib.rs"
+            || (rel.starts_with("crates/")
+                && rel.ends_with("/src/lib.rs")
+                && rel.matches('/').count() == 3));
+    FileClass {
+        test_context,
+        deterministic_path,
+        p1_scope,
+        f1_exempt,
+        f2_exempt,
+        crate_root,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+// ---------------------------------------------------------------------------
+
+/// Suppressions active per line: rule → set of suppressed line numbers.
+struct Suppressions {
+    /// (line, rule) pairs; a suppression on line L covers L and L+1.
+    allowed: Vec<(usize, Rule)>,
+    /// `SUP` findings for malformed suppressions.
+    malformed: Vec<(usize, String)>,
+}
+
+/// Parse suppression comments: `lint: allow(D1, F1) — reason`.
+fn collect_suppressions(lines: &[LineView]) -> Suppressions {
+    let mut allowed = Vec::new();
+    let mut malformed = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let Some(pos) = line.comment.find("lint: allow(") else {
+            continue;
+        };
+        let rest = &line.comment[pos + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            malformed.push((lineno, "unclosed `lint: allow(` suppression".to_string()));
+            continue;
+        };
+        let ids = &rest[..close];
+        let mut rules = Vec::new();
+        let mut bad_id = None;
+        for id in ids.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            match Rule::from_id(id) {
+                Some(r) => rules.push(r),
+                None => bad_id = Some(id.to_string()),
+            }
+        }
+        if let Some(id) = bad_id {
+            malformed.push((lineno, format!("unknown rule `{id}` in suppression")));
+            continue;
+        }
+        if rules.is_empty() {
+            malformed.push((lineno, "suppression names no rules".to_string()));
+            continue;
+        }
+        // Mandatory reason: non-separator text after the ')'.
+        let reason: String = rest[close + 1..]
+            .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+            .trim()
+            .to_string();
+        if reason.is_empty() {
+            malformed.push((
+                lineno,
+                "suppression missing mandatory reason (`// lint: allow(RULE) — why`)".to_string(),
+            ));
+            continue;
+        }
+        for r in rules {
+            allowed.push((lineno, r));
+        }
+    }
+    Suppressions { allowed, malformed }
+}
+
+impl Suppressions {
+    fn covers(&self, line: usize, rule: Rule) -> bool {
+        self.allowed
+            .iter()
+            .any(|&(l, r)| r == rule && (l == line || l + 1 == line))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers.
+// ---------------------------------------------------------------------------
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Does `code` contain `word` as a whole token?
+fn has_token(code: &str, word: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(word) {
+        let abs = start + pos;
+        let before_ok = abs == 0 || !is_ident_char(code[..abs].chars().next_back().unwrap_or(' '));
+        let after = code[abs + word.len()..].chars().next().unwrap_or(' ');
+        if before_ok && !is_ident_char(after) {
+            return true;
+        }
+        start = abs + word.len();
+    }
+    false
+}
+
+/// Does the text around position `at` (an operator site) involve a
+/// floating-point literal? Scans outward to expression delimiters.
+fn float_literal_near(code: &str, at: usize, op_len: usize) -> bool {
+    let delims: &[char] = &[',', ';', '(', ')', '{', '}', '[', ']', '&', '|'];
+    let left_start = code[..at].rfind(delims).map_or(0, |p| p + 1);
+    let right_end = code[at + op_len..]
+        .find(delims)
+        .map_or(code.len(), |p| at + op_len + p);
+    let left = &code[left_start..at];
+    let right = &code[at + op_len..right_end];
+    contains_float_literal(left) || contains_float_literal(right)
+}
+
+/// Detect a float literal (`1.0`, `0.5e3`, `1e-9`) that is not a tuple
+/// field access (`e.0`) or a method call on an integer (`1.max(..)`).
+fn contains_float_literal(s: &str) -> bool {
+    let chars: Vec<char> = s.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i].is_ascii_digit() {
+            // Char before the digit run must not be ident-ish or '.'.
+            let run_start = i;
+            let before = if run_start == 0 {
+                ' '
+            } else {
+                chars[run_start - 1]
+            };
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+            if !is_ident_char(before) && before != '.' {
+                // `12.`, `12.3`, `12e-4`, `12E4` are float-literal shapes.
+                if j < chars.len() && chars[j] == '.' {
+                    // Exclude method calls like `1.max(2)`: float only if
+                    // the char after '.' is a digit, whitespace, or end.
+                    let after_dot = chars.get(j + 1).copied().unwrap_or(' ');
+                    if after_dot.is_ascii_digit() || !is_ident_char(after_dot) {
+                        return true;
+                    }
+                } else if j < chars.len() && (chars[j] == 'e' || chars[j] == 'E') {
+                    let sign_or_digit = chars.get(j + 1).copied().unwrap_or(' ');
+                    if sign_or_digit.is_ascii_digit()
+                        || sign_or_digit == '+'
+                        || sign_or_digit == '-'
+                    {
+                        return true;
+                    }
+                }
+            }
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// The pass.
+// ---------------------------------------------------------------------------
+
+/// Marker that lets seeded fixture files masquerade as workspace files:
+/// `// lint-fixture-path: crates/core/src/example.rs` on the first line.
+const FIXTURE_PATH_MARKER: &str = "lint-fixture-path:";
+
+/// Lint one file's source. `rel_path` is the workspace-relative path
+/// used for rule applicability (fixtures may override it via the
+/// `lint-fixture-path` marker).
+#[must_use]
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let lines = scan_lines(src);
+    // Fixture masquerading (see FIXTURE_PATH_MARKER docs).
+    let effective_path: String = lines
+        .first()
+        .and_then(|l| {
+            l.comment.find(FIXTURE_PATH_MARKER).map(|p| {
+                l.comment[p + FIXTURE_PATH_MARKER.len()..]
+                    .trim()
+                    .to_string()
+            })
+        })
+        .unwrap_or_else(|| rel_path.replace('\\', "/"));
+    let class = classify(&effective_path);
+    let sup = collect_suppressions(&lines);
+    let mut findings = Vec::new();
+
+    for (lineno, msg) in &sup.malformed {
+        findings.push(Finding {
+            path: rel_path.to_string(),
+            line: *lineno,
+            rule: Rule::Sup,
+            message: msg.clone(),
+        });
+    }
+
+    // The repo keeps unit tests in a `#[cfg(test)]` mod at the file
+    // tail; everything from that attribute on is test code.
+    let test_tail_start = lines
+        .iter()
+        .position(|l| l.code.trim() == "#[cfg(test)]")
+        .unwrap_or(lines.len());
+
+    let push = |lineno: usize, rule: Rule, message: String, findings: &mut Vec<Finding>| {
+        if !sup.covers(lineno, rule) {
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: lineno,
+                rule,
+                message,
+            });
+        }
+    };
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = line.code.as_str();
+        let in_test_region = class.test_context || idx >= test_tail_start;
+
+        // U1 — applies everywhere, test code included: unsafe is unsafe.
+        if has_token(code, "unsafe") {
+            let has_safety = (idx.saturating_sub(3)..=idx)
+                .any(|k| lines.get(k).is_some_and(|l| l.comment.contains("SAFETY:")));
+            if !has_safety {
+                push(
+                    lineno,
+                    Rule::U1,
+                    "`unsafe` without a `// SAFETY:` comment on or above the block".to_string(),
+                    &mut findings,
+                );
+            }
+        }
+
+        if in_test_region {
+            continue;
+        }
+
+        // D1 — deterministic solver/metrics paths must not touch
+        // randomized-hasher containers at all.
+        if class.deterministic_path && (has_token(code, "HashMap") || has_token(code, "HashSet")) {
+            push(
+                lineno,
+                Rule::D1,
+                "HashMap/HashSet in a deterministic solver/metrics path: iteration order \
+                 follows the randomized hasher; use BTreeMap/BTreeSet or a sorted drain"
+                    .to_string(),
+                &mut findings,
+            );
+        }
+
+        // F1 — float equality with a literal operand.
+        if !class.f1_exempt {
+            let mut search = 0usize;
+            loop {
+                let eq = code[search..].find("==");
+                let ne = code[search..].find("!=");
+                let pos = match (eq, ne) {
+                    (Some(a), Some(b)) => a.min(b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => break,
+                };
+                let abs = search + pos;
+                // Skip `<=`, `>=`, `!=` handled, and `===`-like runs.
+                let prev = code[..abs].chars().next_back().unwrap_or(' ');
+                if prev != '<' && prev != '>' && float_literal_near(code, abs, 2) {
+                    push(
+                        lineno,
+                        Rule::F1,
+                        "float `==`/`!=` outside the epsilon helpers in dq.rs/modularity.rs: \
+                         compare via an epsilon helper or justify exact equality"
+                            .to_string(),
+                        &mut findings,
+                    );
+                    break; // one finding per line is enough
+                }
+                search = abs + 2;
+            }
+        }
+
+        // F2 — manual id pack/unpack.
+        if !class.f2_exempt && (code.contains("<< 32") || code.contains(">> 32")) {
+            push(
+                lineno,
+                Rule::F2,
+                "manual 64-bit id pack/unpack: use louvain_hash::key::{pack_key, unpack_key} \
+                 so narrowing stays in one audited place"
+                    .to_string(),
+                &mut findings,
+            );
+        }
+
+        // P1 — panicking calls in library code of the no-panic crates.
+        if class.p1_scope && (code.contains(".unwrap()") || code.contains(".expect(")) {
+            push(
+                lineno,
+                Rule::P1,
+                "unwrap()/expect() in library code: return a Result, handle the case, or \
+                 suppress with a reason why the panic is unreachable/fatal-by-design"
+                    .to_string(),
+                &mut findings,
+            );
+        }
+    }
+
+    // C1 — crate-root doc invariants.
+    if class.crate_root {
+        let has_missing_docs = lines.iter().any(|l| {
+            l.code.contains("#![warn(missing_docs)]") || l.code.contains("#![deny(missing_docs)]")
+        });
+        let has_paper_ref = lines.iter().any(|l| {
+            let t = &l.comment;
+            t.contains('§')
+                || t.contains("Section I")
+                || t.contains("Section V")
+                || t.contains("Section II")
+                || t.contains("Section III")
+                || t.contains("Section IV")
+                || t.contains("Algorithm ")
+                || t.contains("Equation ")
+                || t.contains("Figure ")
+                || t.contains("Table ")
+        });
+        if !has_missing_docs {
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: 1,
+                rule: Rule::C1,
+                message: "crate root must carry `#![warn(missing_docs)]`".to_string(),
+            });
+        }
+        if !has_paper_ref {
+            findings.push(Finding {
+                path: rel_path.to_string(),
+                line: 1,
+                rule: Rule::C1,
+                message: "crate root docs must cross-reference the paper (a `§`, Section, \
+                          Algorithm, Equation, Figure or Table citation)"
+                    .to_string(),
+            });
+        }
+    }
+
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walk.
+// ---------------------------------------------------------------------------
+
+/// Directories never descended into during the workspace walk.
+const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "results"];
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort(); // deterministic report order, of course
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every `.rs` file under `root` (excluding `target/`, fixture
+/// directories and dotdirs). Returns findings sorted by path and line.
+///
+/// # Errors
+/// Propagates I/O failures from the directory walk or file reads.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&file)?;
+        findings.extend(lint_source(&rel, &src));
+    }
+    findings.sort_by_key(|f| (f.path.clone(), f.line, f.rule));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scanner_strips_comments_and_strings() {
+        let src = "let x = \"HashMap // not code\"; // HashMap in comment\nlet y = 1;";
+        let lines = scan_lines(src);
+        assert_eq!(lines.len(), 2);
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.contains("HashMap in comment"));
+        assert!(lines[1].code.contains("let y"));
+    }
+
+    #[test]
+    fn scanner_handles_raw_strings_and_chars() {
+        let src = "let s = r#\"uns\"afe\"#; let c = '\"'; let l: &'static str = \"x\";";
+        let lines = scan_lines(src);
+        assert!(!lines[0].code.contains("afe"));
+        assert!(lines[0].code.contains("&'static str"));
+    }
+
+    #[test]
+    fn float_literal_detection() {
+        assert!(contains_float_literal("x == 0.0"));
+        assert!(contains_float_literal("1e-9 "));
+        assert!(contains_float_literal("2.5"));
+        assert!(!contains_float_literal("e.0"));
+        assert!(!contains_float_literal("tuple.1"));
+        assert!(!contains_float_literal("x == y"));
+        assert!(!contains_float_literal("0x32"));
+        assert!(!contains_float_literal("1.max(2)"));
+    }
+
+    #[test]
+    fn d1_fires_only_in_deterministic_paths() {
+        let src = "use std::collections::HashMap;\n";
+        assert!(lint_source("crates/core/src/foo.rs", src)
+            .iter()
+            .any(|f| f.rule == Rule::D1));
+        assert!(lint_source("crates/graph/src/foo.rs", src)
+            .iter()
+            .all(|f| f.rule != Rule::D1));
+    }
+
+    #[test]
+    fn suppression_with_reason_silences_and_bare_one_fires_sup() {
+        let with_reason =
+            "use std::collections::HashMap; // lint: allow(D1) — drained through a sorted Vec below\n";
+        let fs = lint_source("crates/core/src/foo.rs", with_reason);
+        assert!(fs.is_empty(), "{fs:?}");
+
+        let bare = "use std::collections::HashMap; // lint: allow(D1)\n";
+        let fs = lint_source("crates/core/src/foo.rs", bare);
+        assert!(fs.iter().any(|f| f.rule == Rule::Sup));
+        assert!(
+            fs.iter().any(|f| f.rule == Rule::D1),
+            "bare allow must not suppress"
+        );
+    }
+
+    #[test]
+    fn suppression_on_previous_line_covers_next_line() {
+        let src = "// lint: allow(P1) — config parse failure is fatal by design\nlet x = parse().unwrap();\n";
+        let fs = lint_source("crates/core/src/foo.rs", src);
+        assert!(fs.is_empty(), "{fs:?}");
+    }
+
+    #[test]
+    fn test_tail_is_exempt_from_p1_but_not_u1() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); unsafe { z() } }\n}\n";
+        let fs = lint_source("crates/core/src/foo.rs", src);
+        assert!(fs.iter().all(|f| f.rule != Rule::P1));
+        assert!(fs.iter().any(|f| f.rule == Rule::U1));
+    }
+
+    #[test]
+    fn fixture_marker_overrides_path() {
+        let src = "// lint-fixture-path: crates/core/src/fake.rs\nuse std::collections::HashSet;\n";
+        let fs = lint_source("crates/xtask/tests/fixtures/d1.rs", src);
+        assert!(fs.iter().any(|f| f.rule == Rule::D1));
+    }
+
+    #[test]
+    fn c1_checks_crate_roots() {
+        let good = "//! Crate docs citing Section IV.\n#![warn(missing_docs)]\n";
+        assert!(lint_source("crates/core/src/lib.rs", good).is_empty());
+        let bad = "//! No citation.\n";
+        let fs = lint_source("crates/core/src/lib.rs", bad);
+        assert_eq!(fs.iter().filter(|f| f.rule == Rule::C1).count(), 2);
+        // Non-root files unaffected.
+        assert!(lint_source("crates/core/src/other.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let f = Finding {
+            path: "a.rs".into(),
+            line: 3,
+            rule: Rule::F1,
+            message: "msg with \"quote\"".into(),
+        };
+        let json = to_json_report(&[f]);
+        assert!(json.contains("\"total\": 1"));
+        assert!(json.contains("\"F1\":1"));
+        assert!(json.contains("\\\"quote\\\""));
+    }
+}

@@ -1,0 +1,129 @@
+//! CLI for the workspace tooling: `cargo run -p xtask -- <command>`.
+//!
+//! Commands:
+//! - `lint [--json] [paths..]` — run the louvain-lint pass (Section V-B
+//!   determinism hazards and friends; see crate docs). Exits non-zero
+//!   when findings exist.
+//! - `check` — umbrella: `cargo fmt --check`, `cargo clippy --workspace`,
+//!   the lint pass, and `cargo test -q`, stopping at the first failure.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+use xtask::lint::{lint_workspace, to_json_report, Finding};
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> workspace root is two levels up.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let json = args.iter().any(|a| a == "--json");
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let root = workspace_root();
+    let mut findings: Vec<Finding> = Vec::new();
+    let result: std::io::Result<()> = if paths.is_empty() {
+        lint_workspace(&root).map(|f| findings = f)
+    } else {
+        paths.iter().try_for_each(|p| {
+            let target = root.join(p.as_str());
+            let target = if target.exists() {
+                target
+            } else {
+                PathBuf::from(p.as_str())
+            };
+            lint_workspace(&target).map(|f| findings.extend(f))
+        })
+    };
+    if let Err(e) = result {
+        eprintln!("xtask lint: I/O error: {e}");
+        return ExitCode::from(2);
+    }
+    if json {
+        println!("{}", to_json_report(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        eprintln!(
+            "xtask lint: {} finding(s) across the workspace",
+            findings.len()
+        );
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_step(name: &str, cmd: &mut Command) -> bool {
+    eprintln!("==> {name}");
+    match cmd.status() {
+        Ok(s) if s.success() => true,
+        Ok(s) => {
+            eprintln!("xtask check: step `{name}` failed ({s})");
+            false
+        }
+        Err(e) => {
+            eprintln!("xtask check: could not run `{name}`: {e} (skipping)");
+            // A missing optional tool (e.g. rustfmt not installed) must
+            // not fail the umbrella; the lint + test steps still gate.
+            true
+        }
+    }
+}
+
+fn run_check() -> ExitCode {
+    let root = workspace_root();
+    let ok = run_step(
+        "cargo fmt --check",
+        Command::new("cargo")
+            .args(["fmt", "--all", "--check"])
+            .current_dir(&root),
+    ) && run_step(
+        "cargo clippy --workspace",
+        Command::new("cargo")
+            .args([
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--",
+                "-D",
+                "warnings",
+            ])
+            .current_dir(&root),
+    ) && run_step(
+        "xtask lint",
+        Command::new("cargo")
+            .args(["run", "-q", "-p", "xtask", "--", "lint"])
+            .current_dir(&root),
+    ) && run_step(
+        "cargo test -q",
+        Command::new("cargo")
+            .args(["test", "-q"])
+            .current_dir(&root),
+    );
+    if ok {
+        eprintln!("xtask check: all steps passed");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(&args[1..]),
+        Some("check") => run_check(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- <lint [--json] [paths..] | check>");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,6 @@
+// lint-fixture-path: crates/fixture/src/lib.rs
+//! C1 fixture: a crate root with neither a `missing_docs` warning nor a
+//! cross-reference into the paper.
+
+/// Does nothing.
+pub fn noop() {}

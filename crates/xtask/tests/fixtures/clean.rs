@@ -1,0 +1,14 @@
+// lint-fixture-path: crates/core/src/fixture_clean.rs
+//! Clean fixture: the negative control — no rule fires here.
+//! (Cross-checks Section IV's determinism requirement by construction.)
+
+use std::collections::BTreeMap;
+
+/// Deterministic tally: accumulates in key order.
+pub fn tally(pairs: &[(u32, f64)]) -> f64 {
+    let mut acc: BTreeMap<u32, f64> = BTreeMap::new();
+    for &(c, w) in pairs {
+        *acc.entry(c).or_insert(0.0) += w;
+    }
+    acc.values().sum()
+}

@@ -1,0 +1,14 @@
+// lint-fixture-path: crates/core/src/fixture_d1.rs
+//! D1 fixture: a randomized-hash container on a deterministic solver path.
+
+use std::collections::HashMap;
+
+/// Accumulates community weights in hash-iteration order — the exact
+/// nondeterminism D1 exists to catch.
+pub fn tally(pairs: &[(u32, f64)]) -> f64 {
+    let mut acc: HashMap<u32, f64> = HashMap::new();
+    for &(c, w) in pairs {
+        *acc.entry(c).or_insert(0.0) += w;
+    }
+    acc.values().sum()
+}

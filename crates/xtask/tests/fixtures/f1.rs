@@ -1,0 +1,7 @@
+// lint-fixture-path: crates/core/src/fixture_f1.rs
+//! F1 fixture: exact float equality outside the epsilon helpers.
+
+/// True when the gain is exactly zero — fragile under roundoff.
+pub fn is_zero_gain(gain: f64) -> bool {
+    gain == 0.0
+}

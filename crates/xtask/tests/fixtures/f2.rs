@@ -1,0 +1,7 @@
+// lint-fixture-path: crates/graph/src/fixture_f2.rs
+//! F2 fixture: manual id packing outside `crates/hashtable/src/key.rs`.
+
+/// Packs a vertex pair by hand instead of calling `pack_key`.
+pub fn pack(u: u32, v: u32) -> u64 {
+    ((u as u64) << 32) | v as u64
+}

@@ -1,0 +1,7 @@
+// lint-fixture-path: crates/runtime/src/fixture_p1.rs
+//! P1 fixture: `unwrap` in non-test library code of a solver crate.
+
+/// Parses a rank count, panicking on malformed input.
+pub fn parse_ranks(s: &str) -> usize {
+    s.parse().unwrap()
+}

@@ -1,0 +1,8 @@
+// lint-fixture-path: crates/core/src/fixture_sup.rs
+//! SUP fixture: a suppression comment that gives no reason.
+
+/// Tries to wave away a rule without justifying it.
+pub fn f() -> u32 {
+    // lint: allow(D1)
+    0
+}

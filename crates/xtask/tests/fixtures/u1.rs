@@ -1,0 +1,7 @@
+// lint-fixture-path: crates/hashtable/src/fixture_u1.rs
+//! U1 fixture: an `unsafe` block with no SAFETY comment.
+
+/// Reads index 0 without bounds checking.
+pub fn first_unchecked(xs: &[u64]) -> u64 {
+    unsafe { *xs.get_unchecked(0) }
+}

@@ -1,0 +1,140 @@
+//! Integration tests for the lint pass: every seeded fixture under
+//! `tests/fixtures/` trips exactly the rule it was built for, the clean
+//! fixture trips nothing, the real workspace lints clean, and the CLI
+//! exits non-zero on the fixture directory.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use xtask::{lint_source, Finding, Rule};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+/// Lints one fixture file. The `lint-fixture-path:` marker on its first
+/// line makes the engine classify it under the masqueraded path.
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path).expect("fixture exists");
+    lint_source(&format!("crates/xtask/tests/fixtures/{name}"), &src)
+}
+
+fn assert_only_rule(name: &str, rule: Rule) {
+    let findings = lint_fixture(name);
+    assert!(
+        !findings.is_empty(),
+        "{name}: expected at least one {rule} finding"
+    );
+    for f in &findings {
+        assert_eq!(f.rule, rule, "{name}: unexpected finding {f}");
+    }
+}
+
+#[test]
+fn d1_fixture_fires() {
+    assert_only_rule("d1.rs", Rule::D1);
+}
+
+#[test]
+fn f1_fixture_fires() {
+    assert_only_rule("f1.rs", Rule::F1);
+}
+
+#[test]
+fn f2_fixture_fires() {
+    assert_only_rule("f2.rs", Rule::F2);
+}
+
+#[test]
+fn u1_fixture_fires() {
+    assert_only_rule("u1.rs", Rule::U1);
+}
+
+#[test]
+fn p1_fixture_fires() {
+    assert_only_rule("p1.rs", Rule::P1);
+}
+
+#[test]
+fn c1_fixture_fires() {
+    assert_only_rule("c1.rs", Rule::C1);
+}
+
+#[test]
+fn sup_fixture_fires() {
+    assert_only_rule("sup.rs", Rule::Sup);
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let findings = lint_fixture("clean.rs");
+    assert!(findings.is_empty(), "clean fixture flagged: {findings:?}");
+}
+
+#[test]
+fn fixture_marker_masquerades_classification_not_reporting() {
+    // The D1 finding proves the marker path drove classification (the real
+    // path is under crates/xtask/, which is not a deterministic solver
+    // path), while the reported path stays the real, clickable one.
+    let findings = lint_fixture("d1.rs");
+    assert!(
+        findings
+            .iter()
+            .all(|f| f.path == "crates/xtask/tests/fixtures/d1.rs"),
+        "findings should report the real file path: {findings:?}"
+    );
+}
+
+/// The acceptance bar for this whole PR: the tree itself carries zero
+/// findings (violations are either fixed or suppressed with a reason).
+#[test]
+fn real_workspace_lints_clean() {
+    let findings = xtask::lint_workspace(&workspace_root()).expect("workspace walk");
+    assert!(
+        findings.is_empty(),
+        "workspace must lint clean, found:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn cli_exits_nonzero_on_fixture_directory() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "crates/xtask/tests/fixtures"])
+        .output()
+        .expect("xtask binary runs");
+    assert!(
+        !out.status.success(),
+        "fixture directory must produce a failing exit"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in ["D1", "F1", "F2", "U1", "P1", "C1", "SUP"] {
+        assert!(stdout.contains(rule), "CLI report misses rule {rule}");
+    }
+}
+
+#[test]
+fn cli_json_report_is_well_formed() {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["lint", "--json", "crates/xtask/tests/fixtures"])
+        .output()
+        .expect("xtask binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "not JSON: {stdout}");
+    assert!(stdout.contains("\"total\""), "missing total: {stdout}");
+    assert!(
+        stdout.contains("\"findings\""),
+        "missing findings: {stdout}"
+    );
+    assert!(stdout.contains("\"rule\":\"D1\""), "missing D1: {stdout}");
+}

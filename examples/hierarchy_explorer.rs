@@ -56,7 +56,11 @@ fn main() {
 
     println!("\nphase breakdown (critical path across ranks):");
     for ph in Phase::ALL {
-        println!("  {:22} {:>10.3} ms", ph.name(), r.timers.get(ph).as_secs_f64() * 1e3);
+        println!(
+            "  {:22} {:>10.3} ms",
+            ph.name(),
+            r.timers.get(ph).as_secs_f64() * 1e3
+        );
     }
     println!(
         "\nfinal: Q = {:.4} with {} communities; first level took {:.1}% of \

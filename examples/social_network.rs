@@ -32,7 +32,10 @@ fn main() {
     let par = ParallelLouvain::new(ParallelConfig::with_ranks(4)).run(&lfr.edges);
     let naive = NaiveParallelLouvain::new(NaiveConfig::default()).run(&graph);
 
-    println!("\n{:<24} {:>8} {:>12} {:>8}", "solver", "Q", "communities", "levels");
+    println!(
+        "\n{:<24} {:>8} {:>12} {:>8}",
+        "solver", "Q", "communities", "levels"
+    );
     for (name, q, part, levels) in [
         (
             "sequential",

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, clippy, the louvain-lint pass, and tests.
+# Mirrors `cargo run -p xtask -- check`; kept as a shell script so it can
+# run without a prior build of xtask deciding the tool order.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo run -q -p xtask -- lint"
+cargo run -q -p xtask -- lint
+
+echo "==> cargo test -q (workspace)"
+cargo test --workspace -q
+
+echo "==> all checks passed"

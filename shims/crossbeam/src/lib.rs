@@ -1,0 +1,169 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The build container has no network access, so the workspace replaces
+//! external dependencies with std-only shims (see `shims/README.md`).
+//! Only `crossbeam::channel::{unbounded, Sender, Receiver}` is needed —
+//! implemented over `Mutex<VecDeque>` + `Condvar` so that, like the real
+//! crate (and unlike `std::sync::mpsc`), `Sender` is `Sync` and can be
+//! shared by reference across rank threads.
+
+/// MPMC unbounded channel (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Chan<T> {
+        queue: Mutex<ChanState<T>>,
+        ready: Condvar,
+    }
+
+    struct ChanState<T> {
+        buf: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    /// Sending half; cloneable and shareable across threads.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiver disconnected before the message was sent.
+    #[derive(PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// All senders disconnected and the queue is drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Create an unbounded channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(ChanState {
+                buf: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            ready: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue a message; fails only if the receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut q = self.chan.queue.lock().expect("channel lock");
+            if !q.receiver_alive {
+                return Err(SendError(msg));
+            }
+            q.buf.push_back(msg);
+            drop(q);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.queue.lock().expect("channel lock").senders += 1;
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut q = self.chan.queue.lock().expect("channel lock");
+            q.senders -= 1;
+            if q.senders == 0 {
+                drop(q);
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.chan.queue.lock().expect("channel lock");
+            loop {
+                if let Some(msg) = q.buf.pop_front() {
+                    return Ok(msg);
+                }
+                if q.senders == 0 {
+                    return Err(RecvError);
+                }
+                q = self.chan.ready.wait(q).expect("channel lock");
+            }
+        }
+
+        /// Non-blocking receive; `None` when empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.chan
+                .queue
+                .lock()
+                .expect("channel lock")
+                .buf
+                .pop_front()
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.queue.lock().expect("channel lock").receiver_alive = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_recv_across_threads() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100 {
+                    tx2.send(i).unwrap();
+                }
+            });
+            s.spawn(move || {
+                drop(tx);
+            });
+            let mut got: Vec<u32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+            assert!(rx.recv().is_err());
+        });
+    }
+}

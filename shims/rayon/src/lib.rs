@@ -1,0 +1,262 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build container has no network access, so the workspace replaces
+//! external dependencies with std-only shims (see `shims/README.md`).
+//! This crate supports the `into_par_iter().map(..).collect()` /
+//! `for_each` shapes the solvers use, executing the mapped stage on
+//! `std::thread::scope` threads.
+//!
+//! Determinism contract: items are split into **fixed-size chunks that
+//! depend only on the input length** (never on the machine's core
+//! count), and chunk outputs are concatenated in chunk order. A parallel
+//! map therefore produces bit-identical output regardless of how many
+//! worker threads execute it — the property rule D1 of `xtask lint`
+//! protects at the container level.
+
+use std::num::NonZeroUsize;
+
+/// Minimum number of items per chunk; below this, stay sequential.
+const MIN_CHUNK: usize = 1024;
+
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Apply `f` to every item, in parallel, preserving input order.
+///
+/// Chunk boundaries are a pure function of `items.len()`, so the output
+/// vector is identical no matter how many threads run or how the OS
+/// schedules them.
+fn par_map_vec<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n = items.len();
+    let workers = worker_count();
+    if n <= MIN_CHUNK || workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Fixed chunking: consecutive runs of MIN_CHUNK items.
+    let mut chunks: Vec<Mutex<Vec<T>>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(MIN_CHUNK).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(Mutex::new(chunk));
+    }
+    let num_chunks = chunks.len();
+    let slots: Vec<Mutex<Vec<R>>> = (0..num_chunks).map(|_| Mutex::new(Vec::new())).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(num_chunks) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= num_chunks {
+                    break;
+                }
+                let chunk = std::mem::take(&mut *chunks[i].lock().expect("chunk lock"));
+                let mapped: Vec<R> = chunk.into_iter().map(f).collect();
+                *slots[i].lock().expect("slot lock") = mapped;
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        out.extend(slot.into_inner().expect("slot lock"));
+    }
+    out
+}
+
+/// A materialized "parallel" iterator: a vector of pending items plus
+/// adapter state. Terminal operations drive evaluation.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Result of [`ParallelIterator::map`]; evaluates the closure in
+/// parallel when driven by a terminal operation.
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+/// Conversion into a parallel iterator (subset of rayon's trait).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert self.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Parallel iterator operations (subset of rayon's trait).
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Drive evaluation to a vector, preserving order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Map each item through `f` (evaluated in parallel at the terminal).
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync + Send>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Collect into any `FromIterator` container, in input order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+
+    /// Run `f` on every item.
+    fn for_each<F: Fn(Self::Item) + Sync + Send>(self, f: F) {
+        for item in self.drive() {
+            f(item);
+        }
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+
+    /// Rayon-style reduce with an identity factory. Combination happens
+    /// in input order, so the result is deterministic for the
+    /// non-commutative cases (e.g. float addition) too.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync + Send,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+    {
+        self.drive().into_iter().fold(identity(), op)
+    }
+
+    /// Sum the items in input order.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        self.drive().into_iter().sum()
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<P, R, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync + Send,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        par_map_vec(self.base.drive(), &self.f)
+    }
+}
+
+macro_rules! impl_into_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for core::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<$t>;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_into_par_range!(u32, u64, usize, i32, i64);
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// Reference-iteration helpers (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type.
+    type Item: Send + 'a;
+    /// Iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<&'a T>;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `rayon::prelude` subset.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<u64> = (0..10_000u64).into_par_iter().map(|x| x * 2).collect();
+        let expect: Vec<u64> = (0..10_000u64).map(|x| x * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn float_sum_matches_sequential_order() {
+        let xs: Vec<f64> = (0..50_000).map(|i| 1.0 / f64::from(i + 1)).collect();
+        let seq: f64 = xs.iter().sum();
+        let par: f64 = xs.clone().into_par_iter().map(|x| x).sum();
+        assert!((seq - par).abs() == 0.0, "bit-identical accumulation");
+    }
+}

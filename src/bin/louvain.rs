@@ -99,7 +99,9 @@ fn load_graph(o: &Options) -> EdgeList {
         };
         match parts.as_slice() {
             ["lfr", n, mu] => {
-                let (Ok(n), Ok(mu)) = (n.parse(), mu.parse()) else { bad() };
+                let (Ok(n), Ok(mu)) = (n.parse(), mu.parse()) else {
+                    bad()
+                };
                 gen::lfr::generate_lfr(&gen::lfr::LfrConfig::standard(n, mu), o.seed).edges
             }
             ["rmat", scale] => {
@@ -107,11 +109,15 @@ fn load_graph(o: &Options) -> EdgeList {
                 gen::rmat::generate_rmat(&gen::rmat::RmatConfig::graph500(scale), o.seed)
             }
             ["bter", n, gcc] => {
-                let (Ok(n), Ok(gcc)) = (n.parse(), gcc.parse()) else { bad() };
+                let (Ok(n), Ok(gcc)) = (n.parse(), gcc.parse()) else {
+                    bad()
+                };
                 gen::bter::generate_bter(&gen::bter::BterConfig::paper_like(n, gcc), o.seed).0
             }
             ["gnm", n, m] => {
-                let (Ok(n), Ok(m)) = (n.parse(), m.parse()) else { bad() };
+                let (Ok(n), Ok(m)) = (n.parse(), m.parse()) else {
+                    bad()
+                };
                 gen::er::generate_gnm(n, m, o.seed)
             }
             _ => bad(),

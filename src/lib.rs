@@ -38,6 +38,8 @@
 //! assert!(result.final_modularity > 0.3);
 //! ```
 
+#![warn(missing_docs)]
+
 pub use louvain_core as core;
 pub use louvain_graph as graph;
 pub use louvain_hash as hash;

@@ -14,7 +14,11 @@ fn generates_and_solves_lfr() {
         .args(["--generate", "lfr:2000:0.3", "--solver", "seq", "--levels"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("graph: 2000 vertices"), "{stderr}");
     assert!(stderr.contains("Q = 0."), "{stderr}");
@@ -57,7 +61,11 @@ fn reads_edge_list_file_and_writes_output() {
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let written = std::fs::read_to_string(&output).unwrap();
     let labels: Vec<u32> = written
         .lines()

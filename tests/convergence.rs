@@ -118,7 +118,10 @@ fn inner_loops_terminate_quickly_with_decaying_fractions() {
     let first = lvl0.move_fractions[0];
     let last = *lvl0.move_fractions.last().unwrap();
     assert!(first > 0.3, "first fraction {first}");
-    assert!(last < first / 2.0, "fractions should decay: {first} -> {last}");
+    assert!(
+        last < first / 2.0,
+        "fractions should decay: {first} -> {last}"
+    );
 }
 
 /// The sequential hierarchy is monotone in modularity; the parallel one
