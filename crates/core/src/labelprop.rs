@@ -104,10 +104,10 @@ impl LabelPropagation {
         let t0 = Instant::now();
         let (rank_outputs, comm) = run_with_config::<Msg, (Vec<u32>, usize, Vec<f64>, f64), _>(
             RuntimeConfig {
-                ranks: cfg.ranks,
                 coalesce_capacity: cfg.coalesce_capacity,
                 sync_latency_units: cfg.sync_latency_units,
                 charge_per_message: cfg.charge_per_message,
+                ..RuntimeConfig::new(cfg.ranks)
             },
             |ctx| rank_main(ctx, edges, &cfg),
         );

@@ -88,6 +88,11 @@ pub struct ParallelConfig {
     pub sync_latency_units: f64,
     /// BSP cost model: units per message sent/delivered.
     pub charge_per_message: f64,
+    /// Schedule-perturbation seed forwarded to the runtime (see
+    /// [`louvain_runtime::RuntimeConfig::perturb_seed`]): `Some(seed)`
+    /// adversarially permutes message delivery order in every exchange
+    /// phase. The solver must produce bit-identical output regardless.
+    pub perturb_seed: Option<u64>,
 }
 
 impl Default for ParallelConfig {
@@ -105,6 +110,7 @@ impl Default for ParallelConfig {
             min_move_fraction: 5e-3,
             sync_latency_units: 5000.0,
             charge_per_message: 1.0,
+            perturb_seed: None,
         }
     }
 }
@@ -296,10 +302,11 @@ impl ParallelLouvain {
         let input = &input;
         let (mut rank_outputs, comm) = run_with_config::<Msg, RankOutput, _>(
             RuntimeConfig {
-                ranks: cfg.ranks,
                 coalesce_capacity: cfg.coalesce_capacity,
                 sync_latency_units: cfg.sync_latency_units,
                 charge_per_message: cfg.charge_per_message,
+                perturb_seed: cfg.perturb_seed,
+                ..RuntimeConfig::new(cfg.ranks)
             },
             |ctx| rank_main(ctx, input, &cfg),
         );
@@ -706,9 +713,17 @@ fn refine(
             }
             let gain =
                 remove_cache[li] + dq::insert_gain(w, lvl.k[li], tot_snap[c_new as usize], s);
-            if gain > m_u[li] {
-                m_u[li] = gain;
-                best[li] = c_new;
+            // Candidate order follows EdgeTable iteration order, which
+            // follows message delivery order — so equal-gain ties must be
+            // broken on community id, not arrival order, for the result
+            // to be schedule-independent (see the perturbation harness).
+            match gain.total_cmp(&m_u[li]) {
+                std::cmp::Ordering::Greater => {
+                    m_u[li] = gain;
+                    best[li] = c_new;
+                }
+                std::cmp::Ordering::Equal if c_new > best[li] => best[li] = c_new,
+                _ => {}
             }
         }
         // Local compute charge: one unit per scanned Out-Table entry plus

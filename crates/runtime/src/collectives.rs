@@ -7,47 +7,55 @@
 //! prevents a fast rank from overwriting slots of the current collective
 //! while slow ranks are still reading.
 
-use crate::world::RankCtx;
+use crate::world::{CollectiveKind, RankCtx};
+use std::panic::Location;
 
 impl<'w, M: Send> RankCtx<'w, M> {
     /// Sum of every rank's `x`, folded in rank order.
     #[must_use]
+    #[track_caller]
     pub fn allreduce_sum(&self, x: f64) -> f64 {
-        self.reduce_f64(x, |acc, v| acc + v, 0.0)
+        self.reduce_f64(x, |acc, v| acc + v, 0.0, Location::caller())
     }
 
     /// Maximum of every rank's `x`.
     #[must_use]
+    #[track_caller]
     pub fn allreduce_max(&self, x: f64) -> f64 {
-        self.reduce_f64(x, f64::max, f64::NEG_INFINITY)
+        self.reduce_f64(x, f64::max, f64::NEG_INFINITY, Location::caller())
     }
 
     /// Minimum of every rank's `x`.
     #[must_use]
+    #[track_caller]
     pub fn allreduce_min(&self, x: f64) -> f64 {
-        self.reduce_f64(x, f64::min, f64::INFINITY)
+        self.reduce_f64(x, f64::min, f64::INFINITY, Location::caller())
     }
 
     /// Sum of every rank's `x` (integer).
     #[must_use]
+    #[track_caller]
     pub fn allreduce_sum_u64(&self, x: u64) -> u64 {
-        self.reduce_u64(x, |acc, v| acc + v, 0)
+        self.reduce_u64(x, |acc, v| acc + v, 0, Location::caller())
     }
 
     /// Maximum of every rank's `x` (integer).
     #[must_use]
+    #[track_caller]
     pub fn allreduce_max_u64(&self, x: u64) -> u64 {
-        self.reduce_u64(x, u64::max, 0)
+        self.reduce_u64(x, u64::max, 0, Location::caller())
     }
 
     /// `true` iff any rank passed `true`.
     #[must_use]
+    #[track_caller]
     pub fn allreduce_any(&self, b: bool) -> bool {
         self.allreduce_sum_u64(u64::from(b)) > 0
     }
 
     /// `true` iff every rank passed `true`.
     #[must_use]
+    #[track_caller]
     pub fn allreduce_all(&self, b: bool) -> bool {
         self.allreduce_sum_u64(u64::from(b)) == self.num_ranks() as u64
     }
@@ -55,13 +63,14 @@ impl<'w, M: Send> RankCtx<'w, M> {
     /// Element-wise sum of equal-length vectors across ranks. Every rank
     /// must pass the same length.
     #[must_use]
+    #[track_caller]
     pub fn allreduce_sum_vec(&self, xs: &[f64]) -> Vec<f64> {
         {
             let mut slots = self.world.vec_slots.lock();
             slots[self.rank].clear();
             slots[self.rank].extend_from_slice(xs);
         }
-        self.barrier();
+        self.enter_collective(CollectiveKind::AllreduceSumVec, Location::caller());
         let out = {
             let slots = self.world.vec_slots.lock();
             let len = slots[0].len();
@@ -87,13 +96,14 @@ impl<'w, M: Send> RankCtx<'w, M> {
 
     /// Concatenation of every rank's `xs`, in rank order.
     #[must_use]
+    #[track_caller]
     pub fn allgather_f64(&self, xs: &[f64]) -> Vec<f64> {
         {
             let mut slots = self.world.vec_slots.lock();
             slots[self.rank].clear();
             slots[self.rank].extend_from_slice(xs);
         }
-        self.barrier();
+        self.enter_collective(CollectiveKind::AllgatherF64, Location::caller());
         let out = {
             let slots = self.world.vec_slots.lock();
             let total: usize = slots.iter().map(Vec::len).sum();
@@ -111,23 +121,30 @@ impl<'w, M: Send> RankCtx<'w, M> {
 
     /// Rank 0's value, broadcast to everyone.
     #[must_use]
+    #[track_caller]
     pub fn broadcast_f64(&self, x: f64) -> f64 {
         {
             let mut slots = self.world.f64_slots.lock();
             slots[self.rank] = x;
         }
-        self.barrier();
+        self.enter_collective(CollectiveKind::BroadcastF64, Location::caller());
         let out = self.world.f64_slots.lock()[0];
         self.sim_sync();
         out
     }
 
-    fn reduce_f64(&self, x: f64, fold: impl Fn(f64, f64) -> f64, init: f64) -> f64 {
+    fn reduce_f64(
+        &self,
+        x: f64,
+        fold: impl Fn(f64, f64) -> f64,
+        init: f64,
+        loc: &'static Location<'static>,
+    ) -> f64 {
         {
             let mut slots = self.world.f64_slots.lock();
             slots[self.rank] = x;
         }
-        self.barrier();
+        self.enter_collective(CollectiveKind::ReduceF64, loc);
         let out = {
             let slots = self.world.f64_slots.lock();
             slots.iter().copied().fold(init, fold)
@@ -136,12 +153,18 @@ impl<'w, M: Send> RankCtx<'w, M> {
         out
     }
 
-    fn reduce_u64(&self, x: u64, fold: impl Fn(u64, u64) -> u64, init: u64) -> u64 {
+    fn reduce_u64(
+        &self,
+        x: u64,
+        fold: impl Fn(u64, u64) -> u64,
+        init: u64,
+        loc: &'static Location<'static>,
+    ) -> u64 {
         {
             let mut slots = self.world.u64_slots.lock();
             slots[self.rank] = x;
         }
-        self.barrier();
+        self.enter_collective(CollectiveKind::ReduceU64, loc);
         let out = {
             let slots = self.world.u64_slots.lock();
             slots.iter().copied().fold(init, fold)

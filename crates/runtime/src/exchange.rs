@@ -16,7 +16,9 @@
 //! 3. a final barrier guarantees no rank starts the next phase while
 //!    others are still draining this one.
 
-use crate::world::RankCtx;
+use crate::sim::PerturbRng;
+use crate::world::{CollectiveKind, RankCtx};
+use std::panic::Location;
 use std::sync::atomic::Ordering;
 
 /// An in-progress communication phase. Create with
@@ -31,18 +33,38 @@ pub struct Exchange<'a, 'w, M: Send> {
     /// the handler at `finish`.
     self_buf: Vec<M>,
     self_rank: usize,
+    /// This rank's phase number (seeds the perturbation RNG).
+    phase: u64,
+    /// Call site of `ctx.exchange()`, reported by protocol diagnostics.
+    loc: &'static Location<'static>,
 }
 
 impl<'w, M: Send> RankCtx<'w, M> {
     /// Starts a new communication phase. All ranks must start and finish
     /// the phase collectively.
+    #[track_caller]
     pub fn exchange(&mut self) -> Exchange<'_, 'w, M> {
         let p = self.num_ranks();
+        let rank = self.rank();
+        let phase = self.exchange_seq.get();
+        self.exchange_seq.set(phase + 1);
+        if self.world.check_protocol {
+            // Reset this rank's row of the flushed-message matrix for the
+            // new phase. Safe without a barrier: no rank can reach this
+            // point before every rank has passed the previous phase's
+            // reconciliation (the phase exits through sim_sync).
+            let mut actual = self.world.actual_counts.lock();
+            actual[rank * p..(rank + 1) * p]
+                .iter_mut()
+                .for_each(|c| *c = 0);
+        }
         Exchange {
             outbufs: (0..p).map(|_| Vec::new()).collect(),
             sent: vec![0; p],
             self_buf: Vec::new(),
-            self_rank: self.rank(),
+            self_rank: rank,
+            phase,
+            loc: Location::caller(),
             ctx: self,
         }
     }
@@ -78,6 +100,11 @@ impl<'a, 'w, M: Send> Exchange<'a, 'w, M> {
             return;
         }
         self.ctx.sent_messages += packet.len() as u64;
+        if self.ctx.world.check_protocol {
+            let p = self.ctx.world.p;
+            let mut actual = self.ctx.world.actual_counts.lock();
+            actual[self.self_rank * p + dest] += packet.len() as u64;
+        }
         self.ctx
             .world
             .packet_counter
@@ -91,6 +118,12 @@ impl<'a, 'w, M: Send> Exchange<'a, 'w, M> {
     /// Completes the phase: flushes, synchronizes counts, and drains this
     /// rank's inbox, calling `handler` on every received message. Returns
     /// the number of messages received.
+    ///
+    /// With [`RuntimeConfig::check_protocol`](crate::RuntimeConfig) set,
+    /// the posted send-count matrix is reconciled against the messages
+    /// actually flushed to the channels before any rank starts draining,
+    /// so a count bug panics with a diagnostic on every rank instead of
+    /// hanging the receiver.
     pub fn finish<F: FnMut(M)>(mut self, mut handler: F) -> u64 {
         let p = self.ctx.num_ranks();
         let rank = self.ctx.rank();
@@ -104,32 +137,23 @@ impl<'a, 'w, M: Send> Exchange<'a, 'w, M> {
             let mut counts = self.ctx.world.counts.lock();
             counts[rank * p..(rank + 1) * p].copy_from_slice(&self.sent);
         }
-        self.ctx.barrier();
-        // Deliver self-sends directly.
-        let mut received = self.self_buf.len() as u64;
-        for m in std::mem::take(&mut self.self_buf) {
-            handler(m);
+        self.ctx
+            .enter_collective(CollectiveKind::Exchange, self.loc);
+        if self.ctx.world.check_protocol {
+            self.reconcile_counts();
         }
         // Expected from remote ranks = column sum for this rank.
-        let expected: u64 = received + {
+        let expected: u64 = self.self_buf.len() as u64 + {
             let counts = self.ctx.world.counts.lock();
             (0..p)
                 .filter(|&r| r != rank)
                 .map(|r| counts[r * p + rank])
                 .sum::<u64>()
         };
-        while received < expected {
-            let packet = self
-                .ctx
-                .rx
-                .recv()
-                // lint: allow(P1) — recv fails only if a peer rank thread panicked; aborting is correct
-                .expect("senders alive for the duration of the run");
-            received += packet.len() as u64;
-            for m in packet {
-                handler(m);
-            }
-        }
+        let received = match self.ctx.world.perturb_seed {
+            Some(seed) => self.drain_perturbed(expected, seed, &mut handler),
+            None => self.drain_in_arrival_order(expected, &mut handler),
+        };
         debug_assert_eq!(received, expected, "over-delivery detected");
         // Delivery cost (self and remote alike), then close the BSP
         // superstep — sim_sync's barriers double as the phase exit
@@ -138,6 +162,102 @@ impl<'a, 'w, M: Send> Exchange<'a, 'w, M> {
             .charge(received as f64 * self.ctx.world.charge_per_message);
         self.ctx.sim_sync();
         received
+    }
+
+    /// The production delivery path: self-sends first, then remote
+    /// packets in channel arrival order.
+    fn drain_in_arrival_order<F: FnMut(M)>(&mut self, expected: u64, handler: &mut F) -> u64 {
+        let mut received = self.self_buf.len() as u64;
+        for m in std::mem::take(&mut self.self_buf) {
+            handler(m);
+        }
+        while received < expected {
+            let packet = self.recv_packet();
+            received += packet.len() as u64;
+            for m in packet {
+                handler(m);
+            }
+        }
+        received
+    }
+
+    /// The adversarial delivery path: collects every inbound packet
+    /// (treating the self-send buffer as one more packet), then invokes
+    /// the handler in a seeded pseudo-random packet order with a
+    /// pseudo-random message order inside each packet. The simulated
+    /// clock is untouched — only the interleaving observable to the
+    /// handler changes.
+    fn drain_perturbed<F: FnMut(M)>(&mut self, expected: u64, seed: u64, handler: &mut F) -> u64 {
+        let mut received = self.self_buf.len() as u64;
+        let mut packets: Vec<Vec<M>> = Vec::new();
+        let self_packet = std::mem::take(&mut self.self_buf);
+        if !self_packet.is_empty() {
+            packets.push(self_packet);
+        }
+        while received < expected {
+            let packet = self.recv_packet();
+            received += packet.len() as u64;
+            packets.push(packet);
+        }
+        let mut rng = PerturbRng::new(seed, self.self_rank as u64, self.phase);
+        rng.shuffle(&mut packets);
+        for packet in &mut packets {
+            rng.shuffle(packet);
+        }
+        for packet in packets {
+            for m in packet {
+                handler(m);
+            }
+        }
+        received
+    }
+
+    fn recv_packet(&mut self) -> Vec<M> {
+        self.ctx
+            .rx
+            .recv()
+            // lint: allow(P1) — recv fails only if a peer rank thread panicked; aborting is correct
+            .expect("senders alive for the duration of the run")
+    }
+
+    /// Compares the posted send-count matrix against the messages
+    /// actually flushed to the channels. Runs on every rank after the
+    /// phase-entry barrier and before any rank drains, so a mismatch
+    /// panics everywhere simultaneously — naming the bad sender/receiver
+    /// pairs — instead of deadlocking a receiver that waits for messages
+    /// that were never sent (or leaving stray messages for the next
+    /// phase).
+    fn reconcile_counts(&self) {
+        let p = self.ctx.world.p;
+        let posted = self.ctx.world.counts.lock();
+        let actual = self.ctx.world.actual_counts.lock();
+        let mut detail = String::new();
+        for src in 0..p {
+            for dst in 0..p {
+                let (po, ac) = (posted[src * p + dst], actual[src * p + dst]);
+                if po != ac {
+                    detail.push_str(&format!(
+                        "\n  rank {src} -> rank {dst}: posted {po}, actually sent {ac}"
+                    ));
+                }
+            }
+        }
+        if !detail.is_empty() {
+            panic!(
+                "send-count reconciliation failed for exchange at {}:{}\
+                 {detail}",
+                self.loc.file(),
+                self.loc.line()
+            );
+        }
+    }
+
+    /// Test-only fault injection: corrupts this rank's *posted* send
+    /// count for `dest` by `delta` messages without touching what is
+    /// actually sent, so reconciliation must catch the discrepancy.
+    #[cfg(test)]
+    fn corrupt_posted_count(&mut self, dest: usize, delta: u64) {
+        self.sent[dest] += delta;
     }
 }
 
@@ -252,6 +372,145 @@ mod tests {
             let expect = ((r + 3) % 4 + 1) as u64;
             assert!(counts.iter().all(|&c| c == expect), "rank {r}: {counts:?}");
         }
+    }
+
+    #[test]
+    fn zero_message_phase_is_pure_quiescence() {
+        // No rank sends anything: finish must still synchronize, post
+        // all-zero count rows, reconcile them, and return 0 — with the
+        // protocol checks explicitly on.
+        let cfg = RuntimeConfig {
+            check_protocol: true,
+            ..RuntimeConfig::new(4)
+        };
+        let (out, stats) = run_with_config::<u64, _, _>(cfg, |ctx| {
+            let ex = ctx.exchange();
+            ex.finish(|_| panic!("no messages expected"))
+        });
+        assert_eq!(out, vec![0, 0, 0, 0]);
+        assert_eq!(stats.messages, 0);
+        assert_eq!(stats.packets, 0);
+    }
+
+    #[test]
+    fn send_exactly_at_capacity_flushes_one_full_packet() {
+        // Exactly `capacity` messages to one destination: the packet
+        // flushes eagerly on the last send and finish flushes nothing, so
+        // the wire carries exactly one packet per sender.
+        let cap = 8;
+        let cfg = RuntimeConfig {
+            coalesce_capacity: cap,
+            check_protocol: true,
+            ..RuntimeConfig::new(2)
+        };
+        let (out, stats) = run_with_config::<u32, _, _>(cfg, |ctx| {
+            let dest = 1 - ctx.rank();
+            let mut ex = ctx.exchange();
+            for i in 0..cap as u32 {
+                ex.send(dest, i);
+            }
+            let mut count = 0u64;
+            ex.finish(|_| count += 1);
+            count
+        });
+        assert_eq!(out, vec![cap as u64, cap as u64]);
+        assert_eq!(stats.messages, 2 * cap as u64);
+        assert_eq!(stats.packets, 2, "no partial packet should remain");
+    }
+
+    #[test]
+    fn self_sends_deliver_inside_finish_before_remote_messages() {
+        // The self-send short-circuit buffers messages locally and hands
+        // them to the handler at finish — before any remote delivery on
+        // the unperturbed path.
+        let out = run::<(usize, u64), _, _>(2, |ctx| {
+            let rank = ctx.rank();
+            let mut ex = ctx.exchange();
+            for i in 0..3u64 {
+                ex.send(rank, (rank, i));
+            }
+            for i in 0..2u64 {
+                ex.send(1 - rank, (1 - rank, 100 + i));
+            }
+            assert_eq!(ex.sent_count(), 5);
+            let mut order = Vec::new();
+            ex.finish(|m| order.push(m));
+            order
+        });
+        for (rank, order) in out.iter().enumerate() {
+            assert_eq!(order.len(), 5);
+            let (own, remote) = order.split_at(3);
+            assert!(own.iter().all(|&(r, v)| r == rank && v < 3), "{order:?}");
+            assert!(
+                remote.iter().all(|&(r, v)| r == rank && v >= 100),
+                "{order:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "send-count reconciliation")]
+    fn corrupted_posted_count_is_diagnosed_not_hung() {
+        // Mutation test: an off-by-one in a posted send count would make
+        // the receiver wait forever for a message that was never sent.
+        // Reconciliation must turn that into a panic on every rank.
+        let cfg = RuntimeConfig {
+            check_protocol: true,
+            ..RuntimeConfig::new(2)
+        };
+        let _ = run_with_config::<u32, _, _>(cfg, |ctx| {
+            let rank = ctx.rank();
+            let mut ex = ctx.exchange();
+            ex.send(1 - rank, 7);
+            if rank == 0 {
+                ex.corrupt_posted_count(1, 1);
+            }
+            ex.finish(|_| ())
+        });
+    }
+
+    #[test]
+    fn perturbed_delivery_is_seed_deterministic_and_seed_sensitive() {
+        // The same seed must reproduce the exact handler invocation
+        // order; different seeds must produce a different order (same
+        // multiset). This is what makes the race harness adversarial yet
+        // reproducible.
+        let order_for = |seed: Option<u64>| {
+            let cfg = RuntimeConfig {
+                coalesce_capacity: 4,
+                perturb_seed: seed,
+                check_protocol: true,
+                ..RuntimeConfig::new(4)
+            };
+            run_with_config::<u64, _, _>(cfg, |ctx| {
+                let p = ctx.num_ranks();
+                let rank = ctx.rank() as u64;
+                let mut ex = ctx.exchange();
+                for i in 0..40u64 {
+                    ex.send(((rank + i) % p as u64) as usize, rank * 1000 + i);
+                }
+                let mut order = Vec::new();
+                ex.finish(|m| order.push(m));
+                order
+            })
+            .0
+        };
+        let a1 = order_for(Some(1));
+        let a2 = order_for(Some(1));
+        let b = order_for(Some(2));
+        assert_eq!(a1, a2, "same seed must replay the same schedule");
+        assert_ne!(a1, b, "different seeds must perturb differently");
+        // All schedules deliver the same multiset per rank.
+        let sorted = |runs: &[Vec<u64>]| {
+            runs.iter()
+                .map(|v| {
+                    let mut v = v.clone();
+                    v.sort_unstable();
+                    v
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sorted(&a1), sorted(&b));
     }
 
     #[test]

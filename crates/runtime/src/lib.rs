@@ -40,4 +40,4 @@ pub mod sim;
 pub mod world;
 
 pub use exchange::Exchange;
-pub use world::{run, run_with_config, CommStats, RankCtx, RuntimeConfig};
+pub use world::{run, run_with_config, CollectiveKind, CommStats, RankCtx, RuntimeConfig};

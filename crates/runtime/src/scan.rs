@@ -2,17 +2,19 @@
 //! (graph reconstruction gives each rank a contiguous block of new
 //! community ids) and for result collection.
 
-use crate::world::RankCtx;
+use crate::world::{CollectiveKind, RankCtx};
+use std::panic::Location;
 
 impl<'w, M: Send> RankCtx<'w, M> {
     /// Exclusive prefix sum: rank r receives `Σ_{r' < r} x_{r'}`.
     #[must_use]
+    #[track_caller]
     pub fn exscan_sum_u64(&self, x: u64) -> u64 {
         {
             let mut slots = self.world.u64_slots.lock();
             slots[self.rank] = x;
         }
-        self.barrier();
+        self.enter_collective(CollectiveKind::ExscanSumU64, Location::caller());
         let out = {
             let slots = self.world.u64_slots.lock();
             slots[..self.rank].iter().sum()
@@ -23,6 +25,7 @@ impl<'w, M: Send> RankCtx<'w, M> {
 
     /// Inclusive prefix sum: rank r receives `Σ_{r' <= r} x_{r'}`.
     #[must_use]
+    #[track_caller]
     pub fn scan_sum_u64(&self, x: u64) -> u64 {
         self.exscan_sum_u64(x) + x
     }
@@ -30,6 +33,7 @@ impl<'w, M: Send> RankCtx<'w, M> {
     /// Gathers every rank's `xs` on rank 0 (concatenated in rank order);
     /// other ranks receive an empty vector.
     #[must_use]
+    #[track_caller]
     pub fn gather_f64(&self, xs: &[f64]) -> Vec<f64> {
         let all = self.allgather_f64(xs);
         if self.rank == 0 {

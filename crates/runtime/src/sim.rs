@@ -21,7 +21,8 @@
 //! The model intentionally has only those two calibration constants;
 //! everything else is *measured* from the actual execution.
 
-use crate::world::RankCtx;
+use crate::world::{CollectiveKind, RankCtx};
+use std::panic::Location;
 
 /// Global simulated-clock state (one per world, behind a mutex).
 #[derive(Debug, Default)]
@@ -53,28 +54,72 @@ impl<'w, M: Send> RankCtx<'w, M> {
     ///
     /// Called internally by every exchange and collective; call directly
     /// only to delimit a compute-only superstep.
+    #[track_caller]
     pub fn sim_sync(&self) -> f64 {
         {
             let mut sim = self.world.sim.lock();
             sim.pending[self.rank] = self.work.get();
         }
         self.work.set(0.0);
-        self.barrier();
+        self.enter_collective(CollectiveKind::SimSync, Location::caller());
         if self.rank == 0 {
             let mut sim = self.world.sim.lock();
             let max = sim.pending.iter().copied().fold(0.0f64, f64::max);
             sim.clock += max + self.world.sync_latency_units;
             sim.pending.iter_mut().for_each(|x| *x = 0.0);
         }
-        self.barrier();
+        self.wait_raw();
         self.world.sim.lock().clock
     }
 
     /// Current simulated time in work units (synchronizes first so all
     /// outstanding work is accounted). Collective: all ranks must call.
     #[must_use]
+    #[track_caller]
     pub fn sim_time_units(&self) -> f64 {
         self.sim_sync()
+    }
+}
+
+/// A small deterministic RNG (splitmix64) used only by the
+/// schedule-perturbation mode. Seeded from `(seed, rank, phase)` so every
+/// run with the same seed perturbs identically, and different seeds,
+/// ranks, and phases decorrelate.
+pub(crate) struct PerturbRng {
+    state: u64,
+}
+
+impl PerturbRng {
+    pub(crate) fn new(seed: u64, rank: u64, phase: u64) -> Self {
+        let mut rng = Self {
+            state: seed
+                ^ rank.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ phase.wrapping_mul(0xBF58_476D_1CE4_E5B9),
+        };
+        let _ = rng.next_u64();
+        rng
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-enough draw in `0..n` (modulo bias is irrelevant for
+    /// adversarial shuffling). `n` must be non-zero.
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Fisher–Yates shuffle.
+    pub(crate) fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
     }
 }
 
@@ -85,10 +130,9 @@ mod tests {
     #[test]
     fn clock_advances_by_max_work_plus_latency() {
         let cfg = RuntimeConfig {
-            ranks: 4,
             coalesce_capacity: 64,
             sync_latency_units: 100.0,
-            charge_per_message: 1.0,
+            ..RuntimeConfig::new(4)
         };
         let (out, _) = run_with_config::<(), _, _>(cfg, |ctx| {
             ctx.charge((ctx.rank() as f64 + 1.0) * 10.0); // max = 40
@@ -103,10 +147,9 @@ mod tests {
     #[test]
     fn messages_are_charged_to_both_sides() {
         let cfg = RuntimeConfig {
-            ranks: 2,
             coalesce_capacity: 8,
             sync_latency_units: 0.0,
-            charge_per_message: 1.0,
+            ..RuntimeConfig::new(2)
         };
         let (out, _) = run_with_config::<u32, _, _>(cfg, |ctx| {
             let rank = ctx.rank();
@@ -128,10 +171,9 @@ mod tests {
     #[test]
     fn self_sends_charge_delivery_only() {
         let cfg = RuntimeConfig {
-            ranks: 2,
             coalesce_capacity: 8,
             sync_latency_units: 0.0,
-            charge_per_message: 1.0,
+            ..RuntimeConfig::new(2)
         };
         let (out, _) = run_with_config::<u32, _, _>(cfg, |ctx| {
             let rank = ctx.rank();
@@ -155,10 +197,9 @@ mod tests {
         let mut times = Vec::new();
         for p in [1usize, 2, 4, 8] {
             let cfg = RuntimeConfig {
-                ranks: p,
                 coalesce_capacity: 64,
                 sync_latency_units: 10.0,
-                charge_per_message: 1.0,
+                ..RuntimeConfig::new(p)
             };
             let (out, _) = run_with_config::<(), _, _>(cfg, |ctx| {
                 ctx.charge(total / ctx.num_ranks() as f64);
@@ -188,10 +229,9 @@ mod tests {
     #[test]
     fn imbalance_dominates_the_clock() {
         let cfg = RuntimeConfig {
-            ranks: 4,
             coalesce_capacity: 64,
             sync_latency_units: 0.0,
-            charge_per_message: 1.0,
+            ..RuntimeConfig::new(4)
         };
         // One straggler with 1000 units; everyone else idle.
         let (out, _) = run_with_config::<(), _, _>(cfg, |ctx| {

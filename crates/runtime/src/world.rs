@@ -4,6 +4,7 @@ use crate::sim::SimState;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::cell::Cell;
+use std::panic::Location;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
@@ -21,6 +22,19 @@ pub struct RuntimeConfig {
     /// BSP cost model: clock units charged per remote message sent and
     /// per message delivered.
     pub charge_per_message: f64,
+    /// Enables the collective-protocol shadow checks: per-rank operation
+    /// sequence numbers, collective type tags, and per-phase send-count
+    /// reconciliation. Mismatched collectives become an immediate panic
+    /// naming both call sites instead of silent corruption. Defaults to
+    /// on in debug builds, off in release builds.
+    pub check_protocol: bool,
+    /// When `Some(seed)`, adversarially permutes packet delivery order
+    /// and handler invocation order within every [`Exchange`]
+    /// (crate::Exchange) phase, seeded deterministically from
+    /// `(seed, rank, phase)`. The simulated clock is unaffected; a
+    /// protocol-correct algorithm must produce bit-identical results for
+    /// every seed.
+    pub perturb_seed: Option<u64>,
 }
 
 impl RuntimeConfig {
@@ -34,8 +48,61 @@ impl RuntimeConfig {
             coalesce_capacity: 1024,
             sync_latency_units: 5000.0,
             charge_per_message: 1.0,
+            check_protocol: cfg!(debug_assertions),
+            perturb_seed: None,
         }
     }
+}
+
+/// The kind of collective operation a rank is entering, tracked by the
+/// protocol shadow state so mismatches can name the offending operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectiveKind {
+    /// No collective entered yet (initial shadow state).
+    Idle,
+    /// [`RankCtx::barrier`].
+    Barrier,
+    /// [`RankCtx::allreduce_sum`] / [`RankCtx::allreduce_max`] /
+    /// [`RankCtx::allreduce_min`] (scalar f64 reductions).
+    ReduceF64,
+    /// [`RankCtx::allreduce_sum_u64`] / [`RankCtx::allreduce_max_u64`]
+    /// and the logical reductions built on them.
+    ReduceU64,
+    /// [`RankCtx::allreduce_sum_vec`].
+    AllreduceSumVec,
+    /// [`RankCtx::allgather_f64`].
+    AllgatherF64,
+    /// [`RankCtx::broadcast_f64`].
+    BroadcastF64,
+    /// [`RankCtx::exscan_sum_u64`] / [`RankCtx::scan_sum_u64`].
+    ExscanSumU64,
+    /// [`RankCtx::sim_sync`] / [`RankCtx::sim_time_units`].
+    SimSync,
+    /// An [`Exchange`](crate::Exchange) phase completing in `finish`.
+    Exchange,
+    /// The implicit collective every rank enters after its closure
+    /// returns (protocol checks only). Keeps the barrier full when one
+    /// rank exits while a peer is still inside a collective, so the
+    /// count mismatch is diagnosed instead of deadlocking.
+    Shutdown,
+}
+
+impl std::fmt::Display for CollectiveKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// Per-rank protocol shadow state: operation sequence numbers, collective
+/// type tags, and the user call site of the collective currently being
+/// entered. Only consulted when [`RuntimeConfig::check_protocol`] is set.
+pub(crate) struct ShadowState {
+    /// Collective operations entered so far, per rank.
+    pub(crate) seq: Vec<u64>,
+    /// Kind of the collective each rank is currently entering.
+    pub(crate) kind: Vec<CollectiveKind>,
+    /// Call site of the collective each rank is currently entering.
+    pub(crate) loc: Vec<Option<&'static Location<'static>>>,
 }
 
 /// Aggregate communication counters for a run.
@@ -61,6 +128,13 @@ pub(crate) struct World<M: Send> {
     pub(crate) vec_slots: Mutex<Vec<Vec<f64>>>,
     /// p×p per-phase send-count matrix (row = sender).
     pub(crate) counts: Mutex<Vec<u64>>,
+    /// p×p matrix of messages actually flushed to the channels (row =
+    /// sender), reconciled against `counts` when `check_protocol` is set.
+    pub(crate) actual_counts: Mutex<Vec<u64>>,
+    /// Protocol shadow state (see [`ShadowState`]).
+    pub(crate) shadow: Mutex<ShadowState>,
+    pub(crate) check_protocol: bool,
+    pub(crate) perturb_seed: Option<u64>,
     pub(crate) msg_counter: AtomicU64,
     pub(crate) packet_counter: AtomicU64,
     /// BSP simulated clock (see [`crate::sim`]).
@@ -79,6 +153,8 @@ pub struct RankCtx<'w, M: Send> {
     pub(crate) sent_messages: u64,
     /// BSP work charged since the last simulated synchronization.
     pub(crate) work: Cell<f64>,
+    /// Exchange phases started by this rank (seeds the perturbation RNG).
+    pub(crate) exchange_seq: Cell<u64>,
 }
 
 impl<'w, M: Send> RankCtx<'w, M> {
@@ -101,8 +177,61 @@ impl<'w, M: Send> RankCtx<'w, M> {
     }
 
     /// Blocks until every rank reaches the barrier.
+    #[track_caller]
     pub fn barrier(&self) {
+        self.enter_collective(CollectiveKind::Barrier, Location::caller());
+    }
+
+    /// The raw shared barrier, with no shadow bookkeeping. Internal
+    /// synchronization points that are not collectives in their own right
+    /// (e.g. the second wait of a reduction protocol) use this.
+    pub(crate) fn wait_raw(&self) {
         self.world.barrier.wait();
+    }
+
+    /// Synchronization point at the head of every collective. With
+    /// protocol checks off this is exactly one barrier wait (the seed
+    /// behavior). With checks on, each rank posts `(seq, kind, call
+    /// site)` to its shadow slot, waits, and then *every* rank verifies
+    /// that all slots agree — so a mismatched collective panics on all
+    /// ranks simultaneously (no rank is left blocked on the barrier) with
+    /// a diagnostic naming each rank's operation and call site. The
+    /// trailing wait keeps a fast rank from re-posting its slot for the
+    /// next collective before slow ranks have inspected this one.
+    pub(crate) fn enter_collective(&self, kind: CollectiveKind, loc: &'static Location<'static>) {
+        if !self.world.check_protocol {
+            self.wait_raw();
+            return;
+        }
+        {
+            let mut sh = self.world.shadow.lock();
+            sh.seq[self.rank] += 1;
+            sh.kind[self.rank] = kind;
+            sh.loc[self.rank] = Some(loc);
+        }
+        self.wait_raw();
+        {
+            let sh = self.world.shadow.lock();
+            let me = (sh.seq[self.rank], sh.kind[self.rank]);
+            if (0..self.world.p).any(|r| (sh.seq[r], sh.kind[r]) != me) {
+                let mut detail = String::new();
+                for r in 0..self.world.p {
+                    let site = sh.loc[r].map_or_else(
+                        || "<unknown>".to_string(),
+                        |l| format!("{}:{}", l.file(), l.line()),
+                    );
+                    detail.push_str(&format!(
+                        "\n  rank {r}: op #{} {} at {site}",
+                        sh.seq[r], sh.kind[r]
+                    ));
+                }
+                panic!(
+                    "collective protocol mismatch (ranks entered different \
+                     collectives):{detail}"
+                );
+            }
+        }
+        self.wait_raw();
     }
 }
 
@@ -137,6 +266,14 @@ where
         u64_slots: Mutex::new(vec![0; p]),
         vec_slots: Mutex::new(vec![Vec::new(); p]),
         counts: Mutex::new(vec![0; p * p]),
+        actual_counts: Mutex::new(vec![0; p * p]),
+        shadow: Mutex::new(ShadowState {
+            seq: vec![0; p],
+            kind: vec![CollectiveKind::Idle; p],
+            loc: vec![None; p],
+        }),
+        check_protocol: cfg.check_protocol,
+        perturb_seed: cfg.perturb_seed,
         msg_counter: AtomicU64::new(0),
         packet_counter: AtomicU64::new(0),
         sim: Mutex::new(SimState {
@@ -160,8 +297,16 @@ where
                         rx,
                         sent_messages: 0,
                         work: Cell::new(0.0),
+                        exchange_seq: Cell::new(0),
                     };
                     let out = f(&mut ctx);
+                    if world.check_protocol {
+                        // A rank that returned while a peer is still in a
+                        // collective would leave that peer blocked on the
+                        // barrier forever; entering Shutdown here turns
+                        // the drift into a protocol-mismatch diagnostic.
+                        ctx.enter_collective(CollectiveKind::Shutdown, Location::caller());
+                    }
                     world
                         .msg_counter
                         .fetch_add(ctx.sent_messages, Ordering::Relaxed);
@@ -171,8 +316,12 @@ where
             .collect();
         handles
             .into_iter()
-            // lint: allow(P1) — re-raising a rank thread's panic on the parent is the intended behavior
-            .map(|h| h.join().expect("rank thread panicked"))
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                // Re-raise the rank thread's panic with its original
+                // payload so protocol diagnostics survive to the caller.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
     let stats = CommStats {

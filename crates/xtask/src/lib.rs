@@ -14,6 +14,9 @@
 //! | `U1` | every `unsafe` block carries a `// SAFETY:` comment |
 //! | `P1` | no `.unwrap()` / `.expect(..)` in non-test library code of `crates/{core,runtime,hashtable,graph}` |
 //! | `C1` | every crate root keeps `#![warn(missing_docs)]` and a paper-section cross-reference |
+//! | `R1` | every `ctx.exchange()` phase reaches exactly one `.finish(..)` on all control-flow paths — no `return`, `?`, or loop-escaping `break`/`continue` can leak an open phase |
+//! | `R2` | no collective (`barrier`, `allreduce_*`, `allgather_*`, `exchange`, …) inside a conditional that branches on rank-local data (`rank` in the condition): all ranks must enter every collective |
+//! | `R3` | no raw `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` atomics outside `crates/runtime` — cross-rank communication goes through the runtime API |
 //! | `SUP` | every suppression comment carries a non-empty reason |
 //!
 //! Suppress a finding with a comment of the form `lint: allow(D1) — reason`
@@ -21,9 +24,13 @@
 //! reason text is mandatory (`SUP` fires on bare suppressions). The pass is
 //! std-only and token/line-based (no `syn`), so it runs in the fully
 //! offline build container.
+//!
+//! `lint --json` reports carry a `schema_version` field
+//! ([`JSON_SCHEMA_VERSION`]) so downstream consumers of
+//! `results/lint_baseline.json` can detect format changes.
 
 #![warn(missing_docs)]
 
 pub mod lint;
 
-pub use lint::{lint_source, lint_workspace, Finding, Rule};
+pub use lint::{lint_source, lint_workspace, Finding, Rule, JSON_SCHEMA_VERSION};

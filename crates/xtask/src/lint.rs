@@ -28,19 +28,32 @@ pub enum Rule {
     P1,
     /// Crate-root doc invariants missing.
     C1,
+    /// `ctx.exchange()` not paired with `finish` on the token stream:
+    /// early `return`/`?`/`break` inside a phase, overlapping phases, or
+    /// a phase whose scope ends before `finish`.
+    R1,
+    /// Collective call inside a rank-divergent conditional (a
+    /// conditional whose condition reads rank-local data).
+    R2,
+    /// Atomic memory orderings outside `crates/runtime` (and the
+    /// dependency shims) require a justified suppression.
+    R3,
     /// Suppression comment without a reason.
     Sup,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 7] = [
+    pub const ALL: [Rule; 10] = [
         Rule::D1,
         Rule::F1,
         Rule::F2,
         Rule::U1,
         Rule::P1,
         Rule::C1,
+        Rule::R1,
+        Rule::R2,
+        Rule::R3,
         Rule::Sup,
     ];
 
@@ -54,6 +67,9 @@ impl Rule {
             Rule::U1 => "U1",
             Rule::P1 => "P1",
             Rule::C1 => "C1",
+            Rule::R1 => "R1",
+            Rule::R2 => "R2",
+            Rule::R3 => "R3",
             Rule::Sup => "SUP",
         }
     }
@@ -121,7 +137,14 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Render findings as a JSON report: rule counts plus the finding list.
+/// Version of the JSON report layout. Bump when the shape of the report
+/// (not the rule set) changes, so downstream diffing of lint baselines
+/// can detect incompatible layouts; adding rules only adds `counts`
+/// keys. Version 2 introduced the field itself alongside rules R1–R3.
+pub const JSON_SCHEMA_VERSION: u32 = 2;
+
+/// Render findings as a JSON report: schema version, rule counts, and
+/// the finding list.
 #[must_use]
 pub fn to_json_report(findings: &[Finding]) -> String {
     let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
@@ -137,7 +160,8 @@ pub fn to_json_report(findings: &[Finding]) -> String {
         .map(|f| format!("    {}", f.to_json()))
         .collect();
     format!(
-        "{{\n  \"total\": {},\n  \"counts\": {{{}}},\n  \"findings\": [\n{}\n  ]\n}}",
+        "{{\n  \"schema_version\": {},\n  \"total\": {},\n  \"counts\": {{{}}},\n  \"findings\": [\n{}\n  ]\n}}",
+        JSON_SCHEMA_VERSION,
         findings.len(),
         counts_json.join(","),
         list.join(",\n")
@@ -321,6 +345,12 @@ struct FileClass {
     f2_exempt: bool,
     /// C1 scope: crate-root file that must carry doc invariants.
     crate_root: bool,
+    /// R1/R2 scope: everything except the dependency shims (which never
+    /// touch the runtime's collective surface).
+    race_scope: bool,
+    /// R3 exemption: the runtime implementation and the shims are the
+    /// only places allowed to use atomics without a suppression.
+    r3_exempt: bool,
 }
 
 fn classify(rel: &str) -> FileClass {
@@ -341,6 +371,8 @@ fn classify(rel: &str) -> FileClass {
             || (rel.starts_with("crates/")
                 && rel.ends_with("/src/lib.rs")
                 && rel.matches('/').count() == 3));
+    let race_scope = !rel.starts_with("shims/");
+    let r3_exempt = rel.starts_with("crates/runtime/src/") || rel.starts_with("shims/");
     FileClass {
         test_context,
         deterministic_path,
@@ -348,6 +380,8 @@ fn classify(rel: &str) -> FileClass {
         f1_exempt,
         f2_exempt,
         crate_root,
+        race_scope,
+        r3_exempt,
     }
 }
 
@@ -503,6 +537,330 @@ fn contains_float_literal(s: &str) -> bool {
 }
 
 // ---------------------------------------------------------------------------
+// Cross-line passes (R1/R2): a flat character stream over the non-test
+// code region, each character tagged with its 1-based line number.
+// Comments and string contents are already stripped by the scanner, so
+// token matching on the stream is sound.
+// ---------------------------------------------------------------------------
+
+fn code_stream(lines: &[LineView], end: usize) -> Vec<(char, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().take(end).enumerate() {
+        for c in line.code.chars() {
+            out.push((c, idx + 1));
+        }
+        // Line boundary acts as whitespace so tokens never merge.
+        out.push((' ', idx + 1));
+    }
+    out
+}
+
+/// Is `pat` present at `i` in the stream, character for character?
+fn matches_at(stream: &[(char, usize)], i: usize, pat: &str) -> bool {
+    pat.chars()
+        .enumerate()
+        .all(|(k, pc)| stream.get(i + k).map(|&(c, _)| c) == Some(pc))
+}
+
+/// Is keyword `kw` at `i`, with identifier boundaries on both sides?
+fn keyword_at(stream: &[(char, usize)], i: usize, kw: &str) -> bool {
+    if !matches_at(stream, i, kw) {
+        return false;
+    }
+    let before_ok = i == 0 || !is_ident_char(stream[i - 1].0);
+    let after_ok = stream
+        .get(i + kw.len())
+        .is_none_or(|&(c, _)| !is_ident_char(c));
+    before_ok && after_ok
+}
+
+fn skip_ws(stream: &[(char, usize)], mut i: usize) -> usize {
+    while stream.get(i).is_some_and(|&(c, _)| c.is_whitespace()) {
+        i += 1;
+    }
+    i
+}
+
+/// An open `Exchange` phase being tracked by the R1 state machine.
+struct OpenPhase {
+    start_line: usize,
+    /// Brace depth at the `ctx.exchange()` call: the phase must `finish`
+    /// before this scope closes.
+    start_depth: i32,
+    /// Brace depths of loops opened *after* the phase started; a plain
+    /// `break`/`continue` is fine while one is active.
+    loops: Vec<i32>,
+    /// A `for`/`while`/`loop` keyword was seen and its body `{` is
+    /// pending (armed at this paren depth).
+    pending_loop: Option<i32>,
+}
+
+/// R1 — every `.exchange()` must reach exactly one `.finish()` with no
+/// early exit in between. Token-level approximation of "paired on all
+/// control-flow paths": flags `return`, `?`, labeled `break`, and plain
+/// `break`/`continue` targeting a loop that encloses the phase, plus
+/// overlapping phases and phases whose scope ends unfinished.
+fn check_exchange_discipline(stream: &[(char, usize)]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut phase: Option<OpenPhase> = None;
+    let mut depth = 0i32;
+    let mut parens = 0i32;
+    let mut i = 0usize;
+    while i < stream.len() {
+        let (c, line) = stream[i];
+        if matches_at(stream, i, ".exchange(") {
+            if let Some(ph) = &phase {
+                out.push((
+                    line,
+                    format!(
+                        "`exchange()` while the phase opened at line {} has not reached \
+                         `finish()`: phases must not overlap",
+                        ph.start_line
+                    ),
+                ));
+            }
+            phase = Some(OpenPhase {
+                start_line: line,
+                start_depth: depth,
+                loops: Vec::new(),
+                pending_loop: None,
+            });
+            i += ".exchange(".len();
+            continue;
+        }
+        if matches_at(stream, i, ".finish(") {
+            phase = None;
+            i += ".finish(".len();
+            continue;
+        }
+        let Some(ph) = phase.as_mut() else {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                '(' => parens += 1,
+                ')' => parens -= 1,
+                _ => {}
+            }
+            i += 1;
+            continue;
+        };
+        for kw in ["for", "while", "loop"] {
+            if keyword_at(stream, i, kw) {
+                ph.pending_loop = Some(parens);
+            }
+        }
+        if keyword_at(stream, i, "return") {
+            out.push((
+                line,
+                format!(
+                    "`return` inside the exchange phase opened at line {}: the phase \
+                     never reaches `finish()` on this path and peer ranks deadlock",
+                    ph.start_line
+                ),
+            ));
+            i += "return".len();
+            continue;
+        }
+        if keyword_at(stream, i, "break") || keyword_at(stream, i, "continue") {
+            let kw_len = if stream[i].0 == 'b' { 5 } else { 8 };
+            let j = skip_ws(stream, i + kw_len);
+            let labeled = stream.get(j).is_some_and(|&(c, _)| c == '\'');
+            if labeled || ph.loops.is_empty() {
+                out.push((
+                    line,
+                    format!(
+                        "`break`/`continue` jumps out of the exchange phase opened at \
+                         line {}: `finish()` is skipped on this path",
+                        ph.start_line
+                    ),
+                ));
+            }
+            i += kw_len;
+            continue;
+        }
+        match c {
+            '?' => out.push((
+                line,
+                format!(
+                    "`?` early-exit inside the exchange phase opened at line {}: an \
+                     error return skips `finish()` and deadlocks peer ranks",
+                    ph.start_line
+                ),
+            )),
+            '(' => parens += 1,
+            ')' => parens -= 1,
+            '{' => {
+                depth += 1;
+                if ph.pending_loop == Some(parens) {
+                    ph.loops.push(depth);
+                    ph.pending_loop = None;
+                }
+            }
+            '}' => {
+                if ph.loops.last() == Some(&depth) {
+                    ph.loops.pop();
+                }
+                depth -= 1;
+                if depth < ph.start_depth {
+                    out.push((
+                        line,
+                        format!(
+                            "scope ends before the exchange phase opened at line {} \
+                             reached `finish()`",
+                            ph.start_line
+                        ),
+                    ));
+                    phase = None;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if let Some(ph) = phase {
+        out.push((
+            ph.start_line,
+            "exchange phase is never completed with `finish()`".to_string(),
+        ));
+    }
+    out
+}
+
+/// The collective entry points of the runtime's `RankCtx`/`Exchange`
+/// surface, as method-call prefixes.
+const COLLECTIVE_CALLS: [&str; 11] = [
+    ".barrier(",
+    ".allreduce_",
+    ".allgather_",
+    ".broadcast_",
+    ".exscan_",
+    ".scan_sum_",
+    ".gather_f64(",
+    ".sim_sync(",
+    ".sim_time_units(",
+    ".exchange(",
+    ".finish(",
+];
+
+/// R2 — no collective inside a rank-divergent conditional. The
+/// conservative "branches on rank-local data" heuristic: any
+/// `if`/`while`/`match` whose condition mentions the token `rank` (the
+/// universal spelling of rank-local identity in this workspace) is
+/// considered divergent, and its branch bodies — including the attached
+/// `else`/`else if` chain — must not enter a collective: ranks taking
+/// different arms would enter different collective sequences.
+fn check_rank_divergent_collectives(stream: &[(char, usize)]) -> Vec<(usize, String)> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut i = 0usize;
+    while i < stream.len() {
+        let kw = ["if", "while", "match"]
+            .into_iter()
+            .find(|kw| keyword_at(stream, i, kw));
+        let Some(kw) = kw else {
+            i += 1;
+            continue;
+        };
+        let cond_line = stream[i].1;
+        // Condition: everything up to the body `{` at bracket depth 0.
+        let mut j = i + kw.len();
+        let mut cond = String::new();
+        let mut nest = 0i32;
+        while let Some(&(c, _)) = stream.get(j) {
+            match c {
+                '(' | '[' => nest += 1,
+                ')' | ']' => nest -= 1,
+                '{' if nest == 0 => break,
+                ';' if nest == 0 => break, // not a block construct after all
+                _ => {}
+            }
+            cond.push(c);
+            j += 1;
+        }
+        if stream.get(j).map(|&(c, _)| c) != Some('{') || !has_token(&cond, "rank") {
+            i += kw.len();
+            continue;
+        }
+        // Scan the branch body and any else/else-if chain.
+        let mut region_end = block_end(stream, j);
+        scan_region_for_collectives(stream, j, region_end, kw, cond_line, &mut out);
+        loop {
+            let k = skip_ws(stream, region_end);
+            if !keyword_at(stream, k, "else") {
+                break;
+            }
+            let mut b = skip_ws(stream, k + "else".len());
+            if keyword_at(stream, b, "if") {
+                // Skip the else-if condition up to its body brace.
+                let mut nest = 0i32;
+                while let Some(&(c, _)) = stream.get(b) {
+                    match c {
+                        '(' | '[' => nest += 1,
+                        ')' | ']' => nest -= 1,
+                        '{' if nest == 0 => break,
+                        _ => {}
+                    }
+                    b += 1;
+                }
+            }
+            if stream.get(b).map(|&(c, _)| c) != Some('{') {
+                break;
+            }
+            region_end = block_end(stream, b);
+            scan_region_for_collectives(stream, b, region_end, kw, cond_line, &mut out);
+        }
+        i += kw.len();
+    }
+    out.sort();
+    out.dedup_by_key(|(line, _)| *line);
+    out
+}
+
+/// Index one past the `}` matching the `{` at `open`.
+fn block_end(stream: &[(char, usize)], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while let Some(&(c, _)) = stream.get(i) {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    stream.len()
+}
+
+fn scan_region_for_collectives(
+    stream: &[(char, usize)],
+    start: usize,
+    end: usize,
+    kw: &str,
+    cond_line: usize,
+    out: &mut Vec<(usize, String)>,
+) {
+    for i in start..end {
+        for call in COLLECTIVE_CALLS {
+            if matches_at(stream, i, call) {
+                out.push((
+                    stream[i].1,
+                    format!(
+                        "collective `{call}..)` inside a rank-divergent `{kw}` (condition \
+                         on line {cond_line} reads `rank`): ranks taking different \
+                         branches enter different collective sequences and deadlock \
+                         or corrupt the protocol"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The pass.
 // ---------------------------------------------------------------------------
 
@@ -646,6 +1004,44 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
                     .to_string(),
                 &mut findings,
             );
+        }
+
+        // R3 — raw atomics outside the runtime. All cross-rank
+        // synchronization must go through the runtime's checked
+        // collective surface; a stray Relaxed/SeqCst atomic elsewhere is
+        // a side channel the protocol checker cannot see.
+        if !class.r3_exempt {
+            const ATOMIC_ORDERINGS: [&str; 5] = [
+                "Ordering::Relaxed",
+                "Ordering::SeqCst",
+                "Ordering::Acquire",
+                "Ordering::Release",
+                "Ordering::AcqRel",
+            ];
+            if let Some(ord) = ATOMIC_ORDERINGS.iter().find(|o| code.contains(*o)) {
+                push(
+                    lineno,
+                    Rule::R3,
+                    format!(
+                        "`{ord}` atomic outside crates/runtime: cross-rank state must go \
+                         through the runtime's collective surface (or suppress with a \
+                         justification for why this atomic cannot race the protocol)"
+                    ),
+                    &mut findings,
+                );
+            }
+        }
+    }
+
+    // R1/R2 — cross-line collective-discipline passes over the non-test
+    // code region.
+    if class.race_scope && !class.test_context {
+        let stream = code_stream(&lines, test_tail_start);
+        for (lineno, message) in check_exchange_discipline(&stream) {
+            push(lineno, Rule::R1, message, &mut findings);
+        }
+        for (lineno, message) in check_rank_divergent_collectives(&stream) {
+            push(lineno, Rule::R2, message, &mut findings);
         }
     }
 
@@ -835,6 +1231,61 @@ mod tests {
         assert_eq!(fs.iter().filter(|f| f.rule == Rule::C1).count(), 2);
         // Non-root files unaffected.
         assert!(lint_source("crates/core/src/other.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn r1_accepts_well_formed_phase_and_loop_local_breaks() {
+        let src = "fn f(ctx: &mut C) {\n    let mut ex = ctx.exchange();\n    for x in xs {\n        if x == 0 { continue; }\n        if x == 9 { break; }\n        ex.send(0, x);\n    }\n    ex.finish(|_| {});\n}\n";
+        let fs = lint_source("crates/core/src/foo.rs", src);
+        assert!(fs.iter().all(|f| f.rule != Rule::R1), "{fs:?}");
+    }
+
+    #[test]
+    fn r1_fires_on_question_mark_and_return_inside_phase() {
+        let src = "fn f(ctx: &mut C) -> Result<(), E> {\n    let mut ex = ctx.exchange();\n    let v = parse(s)?;\n    if v == 0 { return Ok(()); }\n    ex.send(0, v);\n    ex.finish(|_| {});\n    Ok(())\n}\n";
+        let fs = lint_source("crates/core/src/foo.rs", src);
+        assert_eq!(fs.iter().filter(|f| f.rule == Rule::R1).count(), 2);
+    }
+
+    #[test]
+    fn r1_fires_on_scope_exit_without_finish() {
+        let src = "fn f(ctx: &mut C) {\n    {\n        let mut ex = ctx.exchange();\n        ex.send(0, 1);\n    }\n}\n";
+        let fs = lint_source("crates/core/src/foo.rs", src);
+        assert!(fs.iter().any(|f| f.rule == Rule::R1));
+    }
+
+    #[test]
+    fn r2_needs_both_rank_condition_and_collective() {
+        // rank-divergent branch without a collective: clean.
+        let clean =
+            "fn f(ctx: &C, rank: usize) {\n    if rank == 0 { log(); }\n    ctx.barrier();\n}\n";
+        assert!(lint_source("crates/core/src/foo.rs", clean)
+            .iter()
+            .all(|f| f.rule != Rule::R2));
+        // collective in a rank-independent branch: clean.
+        let clean2 = "fn f(ctx: &C, n: usize) {\n    if n > 0 { ctx.barrier(); }\n}\n";
+        assert!(lint_source("crates/core/src/foo.rs", clean2)
+            .iter()
+            .all(|f| f.rule != Rule::R2));
+        // collective in the else-branch of a rank conditional: fires.
+        let bad = "fn f(ctx: &C, rank: usize) {\n    if rank == 0 { log(); } else { ctx.barrier(); }\n}\n";
+        assert!(lint_source("crates/core/src/foo.rs", bad)
+            .iter()
+            .any(|f| f.rule == Rule::R2));
+    }
+
+    #[test]
+    fn r3_exempts_runtime_and_cmp_ordering() {
+        let atomic = "let x = c.fetch_add(1, Ordering::Relaxed);\n";
+        assert!(lint_source("crates/core/src/foo.rs", atomic)
+            .iter()
+            .any(|f| f.rule == Rule::R3));
+        assert!(lint_source("crates/runtime/src/foo.rs", atomic)
+            .iter()
+            .all(|f| f.rule != Rule::R3));
+        // `std::cmp::Ordering` never matches.
+        let cmp = "match a.cmp(&b) { std::cmp::Ordering::Less => {} _ => {} }\n";
+        assert!(lint_source("crates/core/src/foo.rs", cmp).is_empty());
     }
 
     #[test]

@@ -1,0 +1,18 @@
+// lint-fixture-path: crates/core/src/fixture_r1.rs
+//! R1 fixture: an exchange phase with an early `return` between
+//! `.exchange()` and `.finish()`, leaking the phase.
+
+use louvain_runtime::RankCtx;
+
+/// Sends `xs` to rank 0, but bails out of the phase on a zero value.
+pub fn leaky_phase(ctx: &mut RankCtx<'_, u64>, xs: &[u64]) -> bool {
+    let mut ex = ctx.exchange();
+    for &x in xs {
+        if x == 0 {
+            return false;
+        }
+        ex.send(0, x);
+    }
+    ex.finish(|_| {});
+    true
+}

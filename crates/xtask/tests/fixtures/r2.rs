@@ -1,0 +1,15 @@
+// lint-fixture-path: crates/core/src/fixture_r2.rs
+//! R2 fixture: a collective inside a rank-divergent conditional — only
+//! some ranks reach the allreduce, so the protocol deadlocks or skews.
+
+use louvain_runtime::RankCtx;
+
+/// Reduces on rank 0 only; the other ranks never enter the collective.
+pub fn skewed_reduce(ctx: &RankCtx<'_, u64>, x: u64) -> u64 {
+    let rank = ctx.rank();
+    if rank == 0 {
+        ctx.allreduce_sum_u64(x)
+    } else {
+        x
+    }
+}

@@ -1,0 +1,10 @@
+// lint-fixture-path: crates/core/src/fixture_r3.rs
+//! R3 fixture: a raw atomic ordering outside `crates/runtime`, where all
+//! cross-rank communication is supposed to go through the runtime API.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bumps a shared counter with a hand-picked memory ordering.
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}

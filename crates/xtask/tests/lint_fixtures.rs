@@ -72,6 +72,21 @@ fn sup_fixture_fires() {
 }
 
 #[test]
+fn r1_fixture_fires() {
+    assert_only_rule("r1.rs", Rule::R1);
+}
+
+#[test]
+fn r2_fixture_fires() {
+    assert_only_rule("r2.rs", Rule::R2);
+}
+
+#[test]
+fn r3_fixture_fires() {
+    assert_only_rule("r3.rs", Rule::R3);
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let findings = lint_fixture("clean.rs");
     assert!(findings.is_empty(), "clean fixture flagged: {findings:?}");
@@ -118,7 +133,7 @@ fn cli_exits_nonzero_on_fixture_directory() {
         "fixture directory must produce a failing exit"
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for rule in ["D1", "F1", "F2", "U1", "P1", "C1", "SUP"] {
+    for rule in ["D1", "F1", "F2", "U1", "P1", "C1", "SUP", "R1", "R2", "R3"] {
         assert!(stdout.contains(rule), "CLI report misses rule {rule}");
     }
 }
@@ -131,6 +146,13 @@ fn cli_json_report_is_well_formed() {
         .expect("xtask binary runs");
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.trim_start().starts_with('{'), "not JSON: {stdout}");
+    assert!(
+        stdout.contains(&format!(
+            "\"schema_version\": {}",
+            xtask::JSON_SCHEMA_VERSION
+        )),
+        "missing schema_version: {stdout}"
+    );
     assert!(stdout.contains("\"total\""), "missing total: {stdout}");
     assert!(
         stdout.contains("\"findings\""),

@@ -17,4 +17,10 @@ cargo run -q -p xtask -- lint
 echo "==> cargo test -q (workspace)"
 cargo test --workspace -q
 
+# Schedule-perturbation race harness: the parallel solver must produce
+# bit-identical output under permuted message-delivery orders (2 and 4
+# ranks in the gate; set LOUVAIN_RACE_EIGHT_RANKS=1 to add 8 ranks).
+echo "==> schedule-perturbation harness (2/4 ranks)"
+cargo test -q -p louvain-runtime --test schedule_perturbation
+
 echo "==> all checks passed"

@@ -82,10 +82,9 @@ fn skewed_all_to_one() {
 #[test]
 fn bsp_clock_sees_receiver_hotspot() {
     let cfg = RuntimeConfig {
-        ranks: 4,
         coalesce_capacity: 256,
         sync_latency_units: 0.0,
-        charge_per_message: 1.0,
+        ..RuntimeConfig::new(4)
     };
     let (out, _) = run_with_config::<u64, _, _>(cfg, |ctx| {
         let rank = ctx.rank();
