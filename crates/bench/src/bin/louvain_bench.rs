@@ -25,6 +25,7 @@ experiments:
   ablate-order     sequential vertex-order sweep (Section V-B)
   ablate-refine    solver pipelines incl. refinement polish
   baseline-lp      label-propagation baseline vs Louvain (Related Work)
+  bench-snapshot   deterministic BENCH_louvain.json perf snapshot
   all              everything above, in order";
 
 fn main() {
@@ -56,6 +57,7 @@ fn main() {
             "ablate-order" => exp::ablate::order(quick),
             "ablate-refine" => exp::ablate::refine(quick),
             "baseline-lp" => exp::ablate::baseline_lp(quick),
+            "bench-snapshot" => louvain_bench::snapshot::run(quick),
             other => {
                 eprintln!("unknown experiment {other:?}\n{USAGE}");
                 std::process::exit(2);
@@ -81,6 +83,7 @@ fn main() {
             "ablate-order",
             "ablate-refine",
             "baseline-lp",
+            "bench-snapshot",
         ] {
             run_one(name);
         }

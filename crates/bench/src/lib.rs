@@ -19,11 +19,24 @@
 //! | `fig9` | Figure 9 — weak & strong scaling TEPS |
 //! | `ablate-epsilon` | ε-schedule parameter sweep (design ablation) |
 //! | `ablate-coalesce` | coalescing-capacity sweep (design ablation) |
+//! | `bench-snapshot` | `BENCH_louvain.json` perf snapshot (DESIGN.md §9) |
+//!
+//! The reporting primitives are reusable:
+//!
+//! ```
+//! use louvain_bench::Table;
+//!
+//! let mut t = Table::new(&["graph", "Q"]);
+//! t.row(&["amazon".to_string(), "0.6532".to_string()]);
+//! assert_eq!(t.len(), 1);
+//! assert!(t.render().contains("amazon"));
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod report;
+pub mod snapshot;
 
 pub use report::{Csv, Table};
 

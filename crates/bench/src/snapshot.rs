@@ -1,0 +1,545 @@
+//! `bench-snapshot` — the perf-snapshot pipeline behind `BENCH_louvain.json`.
+//!
+//! Runs fixed seeded workloads through the distributed solver and writes a
+//! schema-versioned JSON snapshot at the repository root: TEPS under the
+//! BSP cost model, a Figure 8-style per-phase breakdown in simulated work
+//! units, communication volume, and hash-table probe behavior
+//! (Section V-C1).  See DESIGN.md §9 for the field-by-field schema.
+//!
+//! **Determinism contract:** every value in the snapshot derives from the
+//! simulated clock, solver counters, or a fixed-order microbench — never
+//! from the wall clock (lint rule T1) — so two consecutive invocations of
+//! `louvain-bench bench-snapshot` produce **bit-identical** files.  The
+//! solver's own hash tables are deliberately *not* the source of probe
+//! statistics: their insertion order depends on message arrival order, so
+//! their probe counts are schedule-dependent.  Probe statistics come from
+//! [`hash_microbench`], a sequential fill with a fixed key sequence.
+
+use crate::experiments::{run_par, workload};
+use crate::{NS_PER_UNIT, SEED};
+use louvain_core::parallel::ParallelResult;
+use louvain_hash::{pack_key, EdgeTable};
+use std::fmt::Write as _;
+
+/// Version of the `BENCH_louvain.json` schema. Bump on any field rename,
+/// removal, or semantic change (additions are allowed within a version);
+/// `xtask --json` republishes this number so report consumers can gate on
+/// it.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Output path, relative to the working directory (the workspace root
+/// under `cargo run`).
+pub const SNAPSHOT_PATH: &str = "BENCH_louvain.json";
+
+/// Ranks used for every snapshot workload (matches the e2e trace tests).
+pub const RANKS: usize = 4;
+
+/// A minimal JSON value — the workspace is std-only, so the snapshot
+/// carries its own writer and parser instead of pulling in serde.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (rendered without a decimal point).
+    UInt(u64),
+    /// A finite float (rendered via Rust's shortest-roundtrip formatter,
+    /// which is deterministic for a given value).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved (and hence deterministic).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup (`None` for non-objects and missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value of a `UInt` or `Num`.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(u) => Some(*u as f64),
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Integer value of a `UInt`.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// Borrow of a `Str`'s content.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow of an `Arr`'s elements.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as pretty-printed JSON (2-space indent, trailing
+    /// newline). Key order and float formatting are deterministic, so
+    /// equal values render to identical bytes.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent + 1);
+        let close_pad = "  ".repeat(indent);
+        match self {
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(x) => {
+                assert!(x.is_finite(), "non-finite float in snapshot: {x}");
+                // `{:?}` is the shortest representation that round-trips,
+                // always with a decimal point or exponent (valid JSON).
+                let _ = write!(out, "{x:?}");
+            }
+            Json::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&pad);
+                    item.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&close_pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&pad);
+                    let _ = write!(out, "\"{}\": ", escape(k));
+                    v.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&close_pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (objects, arrays, strings, numbers, bools,
+    /// null is rejected — the snapshot never emits it). Numbers without a
+    /// fraction, exponent, or sign parse as [`Json::UInt`]; everything
+    /// else numeric parses as [`Json::Num`], so `parse(render(v)) == v`
+    /// for every value this module produces.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed input or trailing
+    /// garbage.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => Err(format!("unexpected input at byte {}", *pos)),
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        skip_ws(b, pos);
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("bad code point at byte {}", *pos))?,
+                        );
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            _ => {
+                // Consume one UTF-8 scalar (input is a &str, so this is
+                // always at a char boundary).
+                let rest = &b[*pos..];
+                let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                let c = s.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut fractional = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                fractional = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    if !fractional && !text.starts_with('-') {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Json::UInt(u));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number {text:?} at byte {start}"))
+}
+
+/// Deterministic sequential-fill microbench for the probe statistics.
+///
+/// Inserts a fixed LCG-derived key sequence into a fresh [`EdgeTable`] in
+/// a single thread, so the probe counters depend only on the hash
+/// function and load factor — never on message schedules.
+#[must_use]
+pub fn hash_microbench(ops: usize) -> Json {
+    let mut t = EdgeTable::new(1 << 12);
+    let mut x: u64 = SEED;
+    for _ in 0..ops {
+        x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        let u = ((x >> 40) & 0xFFFF) as u32;
+        let c = ((x >> 20) & 0x3FFF) as u32;
+        t.accumulate(pack_key(u, c), 1.0);
+    }
+    let s = t.probe_stats();
+    let occ = t.occupancy_stats(8);
+    Json::Obj(vec![
+        ("operations".into(), Json::UInt(s.operations)),
+        ("probes".into(), Json::UInt(s.probes)),
+        ("collisions".into(), Json::UInt(s.collisions)),
+        ("max_probe_length".into(), Json::UInt(s.max_probe_length)),
+        ("mean_probe_length".into(), Json::Num(s.mean_probe_length)),
+        ("load_factor".into(), Json::Num(s.load_factor)),
+        ("clusters".into(), Json::UInt(occ.clusters as u64)),
+        (
+            "avg_cluster_length".into(),
+            Json::Num(occ.avg_cluster_length),
+        ),
+        (
+            "max_cluster_length".into(),
+            Json::UInt(occ.max_cluster_length as u64),
+        ),
+        ("slice_imbalance".into(), Json::Num(occ.slice_imbalance())),
+    ])
+}
+
+fn workload_entry(name: &str, vertices: usize, r: &ParallelResult) -> Json {
+    let b = r.sim_breakdown;
+    let trace_events: u64 = r.traces.iter().map(|t| t.events.len() as u64).sum();
+    Json::Obj(vec![
+        ("name".into(), Json::Str(name.to_string())),
+        ("ranks".into(), Json::UInt(RANKS as u64)),
+        ("vertices".into(), Json::UInt(vertices as u64)),
+        ("edges".into(), Json::UInt(r.input_edges as u64)),
+        ("levels".into(), Json::UInt(r.result.num_levels() as u64)),
+        ("modularity".into(), Json::Num(r.result.final_modularity)),
+        (
+            "teps_simulated".into(),
+            Json::Num(r.teps_simulated(NS_PER_UNIT)),
+        ),
+        ("sim_total_units".into(), Json::Num(r.sim_total_units)),
+        (
+            "sim_first_level_units".into(),
+            Json::Num(r.sim_first_level_units),
+        ),
+        (
+            "phase_units".into(),
+            Json::Obj(vec![
+                ("loading".into(), Json::Num(b.loading)),
+                ("state_propagation".into(), Json::Num(b.state_propagation)),
+                ("find_best".into(), Json::Num(b.find_best)),
+                ("update".into(), Json::Num(b.update)),
+                ("modularity".into(), Json::Num(b.modularity)),
+                ("reconstruction".into(), Json::Num(b.reconstruction)),
+            ]),
+        ),
+        ("messages".into(), Json::UInt(r.comm.messages)),
+        ("packets".into(), Json::UInt(r.comm.packets)),
+        ("syncs".into(), Json::UInt(r.syncs)),
+        ("bytes_sent".into(), Json::UInt(r.bytes_sent)),
+        ("trace_events".into(), Json::UInt(trace_events)),
+    ])
+}
+
+/// Builds the snapshot document. `quick` trims the workload list.
+#[must_use]
+pub fn build(quick: bool) -> Json {
+    let names: &[&str] = if quick {
+        &["amazon"]
+    } else {
+        &["amazon", "dblp", "youtube"]
+    };
+    let mut entries = Vec::new();
+    for &name in names {
+        let g = workload(name, SEED);
+        let r = run_par(&g.edges, RANKS);
+        entries.push(workload_entry(name, g.edges.num_vertices(), &r));
+    }
+    Json::Obj(vec![
+        ("schema_version".into(), Json::UInt(SCHEMA_VERSION)),
+        (
+            "generator".into(),
+            Json::Str("louvain-bench bench-snapshot".to_string()),
+        ),
+        ("seed".into(), Json::UInt(SEED)),
+        ("ns_per_unit".into(), Json::Num(NS_PER_UNIT)),
+        ("quick".into(), Json::Bool(quick)),
+        ("workloads".into(), Json::Arr(entries)),
+        ("hash_table".into(), hash_microbench(100_000)),
+    ])
+}
+
+/// Runs the `bench-snapshot` experiment: builds the document, writes it
+/// to [`SNAPSHOT_PATH`], and prints a one-line summary per workload.
+pub fn run(quick: bool) {
+    let doc = build(quick);
+    let rendered = doc.render();
+    if let Err(e) = std::fs::write(SNAPSHOT_PATH, &rendered) {
+        eprintln!("warning: cannot write {SNAPSHOT_PATH}: {e}");
+    }
+    if let Some(workloads) = doc.get("workloads").and_then(Json::as_arr) {
+        for w in workloads {
+            let name = w.get("name").and_then(Json::as_str).unwrap_or("?");
+            let q = w.get("modularity").and_then(|v| v.as_f64()).unwrap_or(0.0);
+            let teps = w
+                .get("teps_simulated")
+                .and_then(|v| v.as_f64())
+                .unwrap_or(0.0);
+            let syncs = w.get("syncs").and_then(Json::as_u64).unwrap_or(0);
+            println!("{name}: Q={q:.4} TEPS_sim={:.3}M syncs={syncs}", teps / 1e6);
+        }
+    }
+    println!(
+        "wrote {SNAPSHOT_PATH} (schema v{SCHEMA_VERSION}, {} bytes)",
+        rendered.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_roundtrip_preserves_values() {
+        let v = Json::Obj(vec![
+            ("a".into(), Json::UInt(42)),
+            ("b".into(), Json::Num(0.25)),
+            ("c".into(), Json::Str("x \"y\"\nz".into())),
+            (
+                "d".into(),
+                Json::Arr(vec![Json::Bool(true), Json::Num(1e-7), Json::Obj(vec![])]),
+            ),
+            ("e".into(), Json::Arr(vec![])),
+        ]);
+        let text = v.render();
+        let back = Json::parse(&text).expect("parse");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{} extra").is_err());
+        assert!(Json::parse("nope").is_err());
+    }
+
+    #[test]
+    fn hash_microbench_is_deterministic() {
+        let a = hash_microbench(10_000).render();
+        let b = hash_microbench(10_000).render();
+        assert_eq!(a, b);
+        let doc = Json::parse(&a).expect("parse");
+        assert!(doc.get("operations").and_then(Json::as_u64) == Some(10_000));
+        let mean = doc
+            .get("mean_probe_length")
+            .and_then(|v| v.as_f64())
+            .expect("mean");
+        assert!(mean >= 1.0);
+    }
+}

@@ -9,6 +9,7 @@
 use louvain_graph::csr::CsrGraph;
 use louvain_graph::edgelist::{EdgeList, EdgeListBuilder};
 use louvain_hash::{pack_key, unpack_key};
+use louvain_trace::{Counter, Event};
 use std::collections::BTreeMap;
 
 /// Builds the induced (super) graph of `labels` over `g`.
@@ -26,14 +27,24 @@ pub fn induced_edge_list(g: &CsrGraph, labels: &[u32], num_communities: usize) -
     // super-graph's edge order (and hence downstream tie-breaks) identical
     // across runs.
     let mut acc: BTreeMap<u64, f64> = BTreeMap::new();
+    let arc_scans = Counter::new();
     for u in 0..g.num_vertices() as u32 {
         let cu = labels[u as usize];
         for (v, w) in g.neighbors(u) {
             let cv = labels[v as usize];
             let (lo, hi) = if cu <= cv { (cu, cv) } else { (cv, cu) };
             *acc.entry(pack_key(lo, hi)).or_insert(0.0) += w;
+            arc_scans.incr();
         }
     }
+    louvain_trace::emit_with(|| Event::Count {
+        name: "coarsen.arc_scans",
+        value: arc_scans.get(),
+    });
+    louvain_trace::emit_with(|| Event::Count {
+        name: "coarsen.super_edges",
+        value: acc.len() as u64,
+    });
     let mut b = EdgeListBuilder::with_capacity(num_communities, acc.len());
     for (key, w) in acc {
         let (lo, hi) = unpack_key(key);

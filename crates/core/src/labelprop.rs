@@ -20,9 +20,10 @@ use louvain_graph::partition1d::ModuloPartition;
 use louvain_hash::{pack_key, unpack_key, EdgeTable};
 use louvain_metrics::Partition;
 use louvain_runtime::{run_with_config, CommStats, RankCtx, RuntimeConfig};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::parallel::Msg;
+use crate::timing::Stopwatch;
 
 /// Label-propagation configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -101,7 +102,7 @@ impl LabelPropagation {
     pub fn run(&self, edges: &EdgeList) -> LabelPropResult {
         let cfg = self.cfg;
         let n = edges.num_vertices();
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let (rank_outputs, comm) = run_with_config::<Msg, (Vec<u32>, usize, Vec<f64>, f64), _>(
             RuntimeConfig {
                 coalesce_capacity: cfg.coalesce_capacity,

@@ -33,14 +33,17 @@
 use crate::dq;
 use crate::heuristic::EpsilonSchedule;
 use crate::result::{LevelInfo, LouvainResult};
-use crate::timing::{CommBreakdown, InnerIterationTiming, Phase, PhaseTimers};
+use crate::timing::{
+    CommBreakdown, InnerIterationTiming, Phase, PhaseTimers, SimBreakdown, Stopwatch,
+};
 use louvain_graph::edgelist::EdgeList;
 use louvain_graph::partition1d::ModuloPartition;
 use louvain_hash::{pack_key, unpack_key, EdgeTable};
 use louvain_metrics::Partition;
 use louvain_runtime::{run_with_config, CommStats, RankCtx, RuntimeConfig};
+use louvain_trace::{Event, RankTrace};
 use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// 16-byte POD message: two ids and a weight. The meaning of `(a, b, w)`
 /// depends on the phase (edge, state triple, or Σ_tot delta).
@@ -154,6 +157,22 @@ pub struct ParallelResult {
     pub sim_first_level_units: f64,
     /// Remote messages per algorithm phase, summed across ranks.
     pub comm_breakdown: CommBreakdown,
+    /// Per-phase simulated-clock deltas (Fig. 8 under the cost model).
+    /// Identical on every rank; folded with an element-wise max. The sum
+    /// is slightly below [`ParallelResult::sim_total_units`] because the
+    /// driver's bookkeeping syncs (initial 2m reduction, first-level and
+    /// final clock reads) belong to no phase.
+    pub sim_breakdown: SimBreakdown,
+    /// BSP synchronization points per rank (identical on every rank by
+    /// the collective-ordering invariant; rank 0's count is reported).
+    pub syncs: u64,
+    /// Payload bytes pushed into remote packets, summed across ranks.
+    pub bytes_sent: u64,
+    /// Per-rank event traces, in rank order. Empty unless the `trace`
+    /// feature (on by default) enabled `louvain-trace/record`. Traces are
+    /// keyed on the simulated clock and are bit-identical across runs and
+    /// across `perturb_seed`s.
+    pub traces: Vec<RankTrace>,
 }
 
 impl ParallelResult {
@@ -244,6 +263,10 @@ struct RankOutput {
     /// This rank's share of the input edge count (for TEPS).
     input_edges: usize,
     comm_breakdown: CommBreakdown,
+    sim_breakdown: SimBreakdown,
+    syncs: u64,
+    bytes_sent: u64,
+    trace: Option<RankTrace>,
 }
 
 /// How the input graph reaches the ranks.
@@ -298,7 +321,7 @@ impl ParallelLouvain {
 
     fn run_input(&self, input: RunInput<'_>, n: usize) -> ParallelResult {
         let cfg = self.cfg;
-        let t0 = Instant::now();
+        let t0 = Stopwatch::start();
         let input = &input;
         let (mut rank_outputs, comm) = run_with_config::<Msg, RankOutput, _>(
             RuntimeConfig {
@@ -358,6 +381,15 @@ impl ParallelLouvain {
             .fold(CommBreakdown::default(), |acc, r| {
                 acc.sum(&r.comm_breakdown)
             });
+        let sim_breakdown = rank_outputs
+            .iter()
+            .fold(SimBreakdown::default(), |acc, r| acc.max(&r.sim_breakdown));
+        let syncs = rank_outputs[0].syncs;
+        let bytes_sent = rank_outputs.iter().map(|r| r.bytes_sent).sum();
+        let traces: Vec<RankTrace> = rank_outputs
+            .iter_mut()
+            .filter_map(|r| r.trace.take())
+            .collect();
 
         ParallelResult {
             result: LouvainResult {
@@ -375,15 +407,24 @@ impl ParallelLouvain {
             sim_total_units,
             sim_first_level_units,
             comm_breakdown,
+            sim_breakdown,
+            syncs,
+            bytes_sent,
+            traces,
         }
     }
 }
 
 /// The per-rank driver: Algorithm 2.
 fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelConfig) -> RankOutput {
+    // Each rank is one OS thread: install this rank's trace buffer here
+    // and drain it just before returning. Every emission below is keyed
+    // on the simulated clock, never wall time.
+    louvain_trace::install(ctx.rank());
     let mut timers = PhaseTimers::new();
     let mut inner_timings: Vec<InnerIterationTiming> = Vec::new();
     let mut comm = CommBreakdown::default();
+    let mut sim = SimBreakdown::default();
     let sent0 = ctx.sent_messages();
     let (mut lvl, input_edges) = match input {
         RunInput::Replicated(edges) => {
@@ -406,6 +447,10 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
     comm.loading = ctx.sent_messages() - sent0;
     // 2m is invariant across levels (reconstruction preserves weight).
     let s = ctx.allreduce_sum(lvl.k.iter().sum());
+    // Everything up to here (edge distribution + the 2m reduction) is the
+    // loading superstep; the clock only moves at collectives, so this
+    // read is identical on every rank.
+    sim.loading = ctx.sim_clock_units();
     // Current community of each originally-local vertex, expressed as a
     // vertex id of the *current* level.
     let mut orig_comm: Vec<u32> = lvl.part.local_vertices(ctx.rank()).collect();
@@ -417,10 +462,14 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
     let mut sim_first_level_units = 0.0f64;
 
     for level_idx in 0..cfg.max_levels {
-        let level_start = Instant::now();
+        let level_start = Stopwatch::start();
         let record_inner = level_idx == 0;
         // --- REFINE (Algorithm 4) ---
-        let refine_start = Instant::now();
+        louvain_trace::emit_with(|| Event::Enter {
+            phase: "refine",
+            clock: ctx.sim_clock_units(),
+        });
+        let refine_start = Stopwatch::start();
         let (q, iterations, fractions, q_trace) = refine(
             ctx,
             &mut lvl,
@@ -429,6 +478,7 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
             cfg,
             &mut timers,
             &mut comm,
+            &mut sim,
             if record_inner {
                 Some(&mut inner_timings)
             } else {
@@ -436,13 +486,27 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
             },
         );
         timers.add(Phase::Refine, refine_start.elapsed());
+        louvain_trace::emit_with(|| Event::Exit {
+            phase: "refine",
+            clock: ctx.sim_clock_units(),
+        });
 
         // --- GRAPH RECONSTRUCTION (Algorithm 5) ---
-        let recon_start = Instant::now();
+        louvain_trace::emit_with(|| Event::Enter {
+            phase: "reconstruction",
+            clock: ctx.sim_clock_units(),
+        });
+        let recon_start = Stopwatch::start();
         let sent_before = ctx.sent_messages();
+        let sim_before = ctx.sim_clock_units();
         let (next, n_next) = reconstruct(ctx, &lvl, &out_table, &mut orig_comm, cfg);
         comm.reconstruction += ctx.sent_messages() - sent_before;
+        sim.reconstruction += ctx.sim_clock_units() - sim_before;
         timers.add(Phase::Reconstruction, recon_start.elapsed());
+        louvain_trace::emit_with(|| Event::Exit {
+            phase: "reconstruction",
+            clock: ctx.sim_clock_units(),
+        });
         if level_idx == 0 {
             first_level_time = level_start.elapsed();
             sim_first_level_units = ctx.sim_time_units();
@@ -468,6 +532,21 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
     }
 
     let sim_total_units = ctx.sim_time_units();
+    // Final counter samples, then drain the buffer. All three values are
+    // rank-local program-order quantities, so the trace stays
+    // schedule-invariant.
+    louvain_trace::emit_with(|| Event::Count {
+        name: "runtime.syncs",
+        value: ctx.sync_count(),
+    });
+    louvain_trace::emit_with(|| Event::Count {
+        name: "runtime.bytes_sent",
+        value: ctx.bytes_sent(),
+    });
+    louvain_trace::emit_with(|| Event::Count {
+        name: "runtime.messages_sent",
+        value: ctx.sent_messages(),
+    });
     RankOutput {
         orig_comm,
         levels,
@@ -479,6 +558,10 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
         sim_total_units,
         input_edges,
         comm_breakdown: comm,
+        sim_breakdown: sim,
+        syncs: ctx.sync_count(),
+        bytes_sent: ctx.bytes_sent(),
+        trace: louvain_trace::take(),
     }
 }
 
@@ -648,6 +731,7 @@ fn refine(
     cfg: &ParallelConfig,
     timers: &mut PhaseTimers,
     comm: &mut CommBreakdown,
+    sim: &mut SimBreakdown,
     mut inner_timings: Option<&mut Vec<InnerIterationTiming>>,
 ) -> (f64, usize, Vec<f64>, Vec<f64>) {
     let rank = ctx.rank();
@@ -661,11 +745,22 @@ fn refine(
     let mut q = 0.0;
     let mut iterations = 0usize;
 
+    // Per-phase simulated-clock attribution: `sim_last` is re-read right
+    // after the collective that closes each phase. The clock only moves
+    // at globally ordered syncs, so every rank computes identical deltas.
+    let mut sim_last = ctx.sim_clock_units();
+    let mut sim_lap = |ctx: &RankCtx<'_, Msg>, bucket: &mut f64| {
+        let now = ctx.sim_clock_units();
+        *bucket += now - sim_last;
+        sim_last = now;
+    };
+
     // Initial propagation (Algorithm 2, line 5).
-    let t_prop0 = Instant::now();
+    let t_prop0 = Stopwatch::start();
     let sent_before = ctx.sent_messages();
     state_propagation(ctx, lvl, out_table);
     comm.state_propagation += ctx.sent_messages() - sent_before;
+    sim_lap(ctx, &mut sim.state_propagation);
     let prop0 = t_prop0.elapsed();
     timers.add(Phase::StatePropagation, prop0);
 
@@ -677,7 +772,7 @@ fn refine(
         }
 
         // --- FIND BEST COMMUNITY ---
-        let t_find = Instant::now();
+        let t_find = Stopwatch::start();
         let tot_snap = gather_snapshot(ctx, lvl, &lvl.tot);
         let size_local: Vec<f64> = lvl.size.iter().map(|&x| f64::from(x)).collect();
         let size_snap = gather_snapshot(ctx, lvl, &size_local);
@@ -738,6 +833,11 @@ fn refine(
         } else {
             0.0
         };
+        // The find-best bucket closes at the threshold reductions (the
+        // scan itself has no collective; its compute charge is accounted
+        // by the sync that follows). In naive mode there is no threshold
+        // collective, so the scan charge folds into the update bucket.
+        sim_lap(ctx, &mut sim.find_best);
 
         // --- UPDATE COMMUNITY INFORMATION ---
         // Algorithm 4 lines 13–15 apply the Σ_tot changes *immediately*
@@ -748,7 +848,7 @@ fn refine(
         // re-evaluated gain is no longer positive is skipped. This
         // recovers most of the Gauss-Seidel quality a purely synchronous
         // snapshot loses.
-        let t_upd = Instant::now();
+        let t_upd = Stopwatch::start();
         let sent_before = ctx.sent_messages();
         let mut tot_view = tot_snap;
         let mut local_moves = 0u64;
@@ -820,15 +920,17 @@ fn refine(
         }
         comm.update += ctx.sent_messages() - sent_before;
         let moves = ctx.allreduce_sum_u64(local_moves);
+        sim_lap(ctx, &mut sim.update);
         timers.add(Phase::UpdateCommunity, t_upd.elapsed());
         it_timing.update = t_upd.elapsed();
         fractions.push(moves as f64 / lvl.n.max(1) as f64);
 
         // --- STATE PROPAGATION (Algorithm 4, line 16) ---
-        let t_prop = Instant::now();
+        let t_prop = Stopwatch::start();
         let sent_before = ctx.sent_messages();
         state_propagation(ctx, lvl, out_table);
         comm.state_propagation += ctx.sent_messages() - sent_before;
+        sim_lap(ctx, &mut sim.state_propagation);
         timers.add(Phase::StatePropagation, t_prop.elapsed());
         it_timing.state_propagation += t_prop.elapsed();
 
@@ -838,6 +940,7 @@ fn refine(
             compute_modularity(ctx, lvl, out_table, s)
         });
         comm.modularity += ctx.sent_messages() - sent_before;
+        sim_lap(ctx, &mut sim.modularity);
         q_trace.push(q);
 
         if let Some(t) = inner_timings.as_deref_mut() {

@@ -1,6 +1,49 @@
-//! Per-phase wall-clock timers (Figure 8 of the paper).
+//! Per-phase timers (Figure 8 of the paper): wall-clock accumulation for
+//! the host-machine view and simulated-clock deltas for the BSP cost
+//! model view.
+//!
+//! This module is the workspace's **only sanctioned wall-clock reader**
+//! on solver/runtime paths: lint rule T1 bans `Instant::now` everywhere
+//! else in `crates/{core,runtime,trace}/src`, so that no wall-clock value
+//! can leak into a deterministic output (traces, `BENCH_*.json`). Code
+//! that needs an elapsed-time measurement goes through [`Stopwatch`].
 
 use std::time::{Duration, Instant};
+
+/// A wall-clock stopwatch — the single sanctioned `Instant` wrapper on
+/// solver paths (see the module docs and lint rule T1). Wall-clock
+/// readings must stay out of deterministic outputs; use them only for
+/// host-machine reporting fields (`timers`, `total_time`).
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Wall-clock time elapsed since [`Stopwatch::start`] (or the last
+    /// [`Stopwatch::lap`]).
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Returns the time elapsed since the last lap (or start) and
+    /// restarts the interval.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let d = now - self.start;
+        self.start = now;
+        d
+    }
+}
 
 /// The algorithm phases the paper's time breakdown distinguishes
 /// (Figure 8: REFINE / GRAPH RECONSTRUCTION per outer loop; FIND BEST
@@ -145,6 +188,61 @@ impl CommBreakdown {
             update: self.update + other.update,
             modularity: self.modularity + other.modularity,
             reconstruction: self.reconstruction + other.reconstruction,
+        }
+    }
+}
+
+/// Per-phase **simulated-clock** deltas for one run, in BSP work units —
+/// the deterministic counterpart of [`PhaseTimers`] and the basis of the
+/// Fig. 8-style breakdown in `BENCH_louvain.json`.
+///
+/// Deltas are measured by reading the global simulated clock right after
+/// the collective that closes each phase (no extra syncs are inserted, so
+/// the cost model is unchanged). The clock only advances at globally
+/// ordered syncs, so every rank observes identical deltas and the values
+/// are bit-identical across runs and perturb seeds. Attribution caveats:
+/// FIND BEST COMMUNITY performs no collective of its own — its compute
+/// charge is accounted at the threshold reduction that follows it — and
+/// in naive mode (no ε heuristic) that bucket is folded into `update`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimBreakdown {
+    /// Initial graph loading / distribution supersteps.
+    pub loading: f64,
+    /// STATE PROPAGATION exchanges (both per-iteration propagations).
+    pub state_propagation: f64,
+    /// FIND BEST COMMUNITY scan plus the ε-threshold reductions.
+    pub find_best: f64,
+    /// UPDATE COMMUNITY INFORMATION (move application, Σ_tot deltas).
+    pub update: f64,
+    /// Σ_in accumulation / modularity reductions.
+    pub modularity: f64,
+    /// GRAPH RECONSTRUCTION all-to-all and id compaction.
+    pub reconstruction: f64,
+}
+
+impl SimBreakdown {
+    /// Total simulated units across phases.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.loading
+            + self.state_propagation
+            + self.find_best
+            + self.update
+            + self.modularity
+            + self.reconstruction
+    }
+
+    /// Element-wise maximum (cross-rank fold; all ranks should agree, so
+    /// this is a no-op fold that tolerates a rank reporting zero).
+    #[must_use]
+    pub fn max(&self, other: &SimBreakdown) -> SimBreakdown {
+        SimBreakdown {
+            loading: self.loading.max(other.loading),
+            state_propagation: self.state_propagation.max(other.state_propagation),
+            find_best: self.find_best.max(other.find_best),
+            update: self.update.max(other.update),
+            modularity: self.modularity.max(other.modularity),
+            reconstruction: self.reconstruction.max(other.reconstruction),
         }
     }
 }

@@ -1,0 +1,72 @@
+//! End-to-end determinism of the observability layer (DESIGN.md §9).
+//!
+//! The per-rank event traces must be **bit-identical** across repeated
+//! invocations and across schedule-perturbation seeds: every recorded
+//! quantity (program-order send counts, post-collective simulated clocks,
+//! lifetime counters) is schedule-invariant by construction, so a trace
+//! diff is a determinism regression.
+
+use louvain_core::parallel::{ParallelConfig, ParallelLouvain, ParallelResult};
+use louvain_graph::edgelist::EdgeList;
+use louvain_graph::gen::rmat::{generate_rmat, RmatConfig};
+
+const RANKS: usize = 4;
+
+fn small_graph() -> EdgeList {
+    generate_rmat(&RmatConfig::graph500(9), 0x7_EACE)
+}
+
+fn run(perturb: Option<u64>) -> ParallelResult {
+    let cfg = ParallelConfig {
+        perturb_seed: perturb,
+        ..ParallelConfig::with_ranks(RANKS)
+    };
+    ParallelLouvain::new(cfg).run(&small_graph())
+}
+
+#[test]
+fn traces_bit_identical_across_invocations() {
+    let a = run(None);
+    let b = run(None);
+    assert_eq!(a.traces.len(), RANKS, "one trace per rank");
+    assert!(
+        a.traces.iter().all(|t| !t.events.is_empty()),
+        "traces must record events with the default `trace` feature"
+    );
+    assert_eq!(a.traces, b.traces, "trace diff across identical runs");
+    assert_eq!(a.sim_breakdown, b.sim_breakdown);
+    assert_eq!(a.syncs, b.syncs);
+    assert_eq!(a.bytes_sent, b.bytes_sent);
+}
+
+#[test]
+fn traces_bit_identical_across_perturb_seeds() {
+    let base = run(None);
+    for seed in [1u64, 0xDEAD_BEEF] {
+        let p = run(Some(seed));
+        assert_eq!(
+            base.traces, p.traces,
+            "trace diff under perturb_seed={seed} — a schedule-dependent \
+             quantity leaked into the trace"
+        );
+        assert_eq!(base.result.final_modularity, p.result.final_modularity);
+        assert_eq!(base.sim_breakdown, p.sim_breakdown);
+        assert_eq!(base.syncs, p.syncs);
+    }
+}
+
+#[test]
+fn phase_breakdown_attributes_most_of_the_run() {
+    let r = run(None);
+    let total = r.sim_total_units;
+    let sum = r.sim_breakdown.total();
+    assert!(sum > 0.0, "empty breakdown");
+    assert!(
+        sum <= total * (1.0 + 1e-9),
+        "breakdown sum {sum} exceeds sim total {total}"
+    );
+    assert!(
+        sum >= 0.5 * total,
+        "breakdown sum {sum} covers <50% of sim total {total}"
+    );
+}

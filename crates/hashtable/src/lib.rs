@@ -36,5 +36,5 @@ pub use binned::BinnedTable;
 pub use dual::DualTable;
 pub use hashfn::{BitwiseHash, ConcatHash, FibonacciHash, HashFn64, HashKind, LcgHash};
 pub use key::{pack_key, pack_key16, unpack_key, unpack_key16};
-pub use stats::{BinLengthStats, OccupancyStats};
+pub use stats::{BinLengthStats, OccupancyStats, ProbeStats};
 pub use table::EdgeTable;

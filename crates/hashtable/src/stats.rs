@@ -18,6 +18,56 @@ pub struct BinLengthStats {
     pub max_bin_length: usize,
 }
 
+/// Lifetime probe-behavior snapshot of an open-addressing table
+/// ([`crate::table::EdgeTable`]) — the hot-path counters behind the
+/// Section V-C1 hash-function comparison.
+///
+/// All fields are totals since the table was created; [`EdgeTable::reset`]
+/// and `reset_for` deliberately do *not* clear them, so a snapshot taken
+/// after a solver run covers every outer loop.
+///
+/// [`EdgeTable::reset`]: crate::table::EdgeTable::reset
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ProbeStats {
+    /// Insert-or-accumulate operations performed.
+    pub operations: u64,
+    /// Slots inspected across all operations (≥ `operations`).
+    pub probes: u64,
+    /// Extra slots inspected beyond the home slot: `probes - operations`.
+    pub collisions: u64,
+    /// Longest probe sequence any single operation walked.
+    pub max_probe_length: u64,
+    /// `probes / operations` (0.0 for an untouched table).
+    pub mean_probe_length: f64,
+    /// Current `len / capacity` at snapshot time.
+    pub load_factor: f64,
+}
+
+impl ProbeStats {
+    /// Combines two snapshots (e.g. the In- and Out-Table of one rank):
+    /// counters add, `max_probe_length` takes the maximum, and the derived
+    /// ratios are recomputed from the merged totals. `load_factor` is the
+    /// unweighted mean of the two — good enough for reporting tables of
+    /// similar capacity.
+    #[must_use]
+    pub fn merge(&self, other: &ProbeStats) -> ProbeStats {
+        let operations = self.operations + other.operations;
+        let probes = self.probes + other.probes;
+        ProbeStats {
+            operations,
+            probes,
+            collisions: probes.saturating_sub(operations),
+            max_probe_length: self.max_probe_length.max(other.max_probe_length),
+            mean_probe_length: if operations == 0 {
+                0.0
+            } else {
+                probes as f64 / operations as f64
+            },
+            load_factor: (self.load_factor + other.load_factor) / 2.0,
+        }
+    }
+}
+
 /// Occupancy statistics of an open-addressing table, including per-slice
 /// entry counts, where a *slice* models the portion of a node's table
 /// assigned to one thread (Figure 6a).

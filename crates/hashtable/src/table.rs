@@ -13,7 +13,7 @@
 //! scratch each outer loop" cheap.
 
 use crate::hashfn::{FibonacciHash, HashFn64};
-use crate::stats::OccupancyStats;
+use crate::stats::{OccupancyStats, ProbeStats};
 
 /// Sentinel marking an empty slot. Real keys never use this value because
 /// vertex/community identifiers are `u32`s strictly below `u32::MAX`.
@@ -50,6 +50,7 @@ pub struct EdgeTable<H: HashFn64 = FibonacciHash> {
     // Lifetime probe counters for benchmark reporting.
     probes: u64,
     operations: u64,
+    max_probe: u64,
 }
 
 impl EdgeTable<FibonacciHash> {
@@ -76,6 +77,7 @@ impl<H: HashFn64> EdgeTable<H> {
             max_load,
             probes: 0,
             operations: 0,
+            max_probe: 0,
         }
     }
 
@@ -114,6 +116,35 @@ impl<H: HashFn64> EdgeTable<H> {
         }
     }
 
+    /// Extra slots inspected beyond each operation's home slot over the
+    /// table's lifetime: `probes - operations`. Zero means every
+    /// operation resolved at its hashed slot.
+    #[must_use]
+    pub fn collisions(&self) -> u64 {
+        self.probes - self.operations
+    }
+
+    /// Longest probe sequence any single operation has walked (0 for an
+    /// untouched table; 1 means no operation ever left its home slot).
+    #[must_use]
+    pub fn max_probe_length(&self) -> u64 {
+        self.max_probe
+    }
+
+    /// Snapshot of the lifetime probe counters plus the current load
+    /// factor, for the Section V-C1 hash-behavior report.
+    #[must_use]
+    pub fn probe_stats(&self) -> ProbeStats {
+        ProbeStats {
+            operations: self.operations,
+            probes: self.probes,
+            collisions: self.collisions(),
+            max_probe_length: self.max_probe,
+            mean_probe_length: self.mean_probe_length(),
+            load_factor: self.load_factor(),
+        }
+    }
+
     /// Inserts `key` with weight `w`, or adds `w` to the existing weight.
     /// Returns `true` if the key was newly inserted.
     pub fn accumulate(&mut self, key: u64, w: f64) -> bool {
@@ -124,24 +155,28 @@ impl<H: HashFn64> EdgeTable<H> {
         let cap = self.keys.len();
         let mut slot = self.hash.bin(key, cap);
         self.operations += 1;
-        loop {
-            self.probes += 1;
+        let mut walked = 0u64;
+        let inserted = loop {
+            walked += 1;
             let k = self.keys[slot];
             if k == key {
                 self.weights[slot] += w;
-                return false;
+                break false;
             }
             if k == EMPTY {
                 self.keys[slot] = key;
                 self.weights[slot] = w;
                 self.len += 1;
-                return true;
+                break true;
             }
             slot += 1;
             if slot == cap {
                 slot = 0;
             }
-        }
+        };
+        self.probes += walked;
+        self.max_probe = self.max_probe.max(walked);
+        inserted
     }
 
     /// Looks up the accumulated weight for `key`.
@@ -334,6 +369,85 @@ mod tests {
         assert!(t.mean_probe_length() >= 1.0);
         // At load factor 1/4 clustering is mild.
         assert!(t.mean_probe_length() < 2.0, "{}", t.mean_probe_length());
+    }
+
+    #[test]
+    fn probe_stats_snapshot_is_consistent() {
+        let mut t = EdgeTable::new(8);
+        assert_eq!(t.probe_stats(), crate::stats::ProbeStats::default());
+        for i in 0..200u32 {
+            t.accumulate(pack_key(i, 1), 1.0);
+            t.accumulate(pack_key(i, 1), 1.0); // accumulate path probes too
+        }
+        let s = t.probe_stats();
+        assert_eq!(s.operations, 400);
+        assert!(s.probes >= s.operations);
+        assert_eq!(s.collisions, s.probes - s.operations);
+        assert!(s.max_probe_length >= 1);
+        assert!(s.mean_probe_length >= 1.0);
+        assert!((s.load_factor - t.load_factor()).abs() < 1e-15);
+        // Every operation's walk is bounded by the recorded maximum.
+        assert!(s.max_probe_length <= s.probes);
+    }
+
+    #[test]
+    fn collisions_zero_when_every_key_hits_home_slot() {
+        // A single key accumulated repeatedly always lands on its home
+        // slot, so probes == operations.
+        let mut t = EdgeTable::new(64);
+        for _ in 0..10 {
+            t.accumulate(pack_key(7, 7), 1.0);
+        }
+        assert_eq!(t.collisions(), 0);
+        assert_eq!(t.max_probe_length(), 1);
+    }
+
+    #[test]
+    fn probe_counters_survive_reset() {
+        // Lifetime counters cover every outer loop: reset() clears the
+        // slots, not the counters.
+        let mut t = EdgeTable::new(32);
+        for i in 0..20u32 {
+            t.accumulate(pack_key(i, 0), 1.0);
+        }
+        let before = t.probe_stats();
+        t.reset();
+        let after = t.probe_stats();
+        assert_eq!(after.operations, before.operations);
+        assert_eq!(after.probes, before.probes);
+        assert_eq!(after.load_factor, 0.0);
+    }
+
+    #[test]
+    fn probe_stats_merge_combines_totals() {
+        use crate::stats::ProbeStats;
+        let a = ProbeStats {
+            operations: 10,
+            probes: 15,
+            collisions: 5,
+            max_probe_length: 3,
+            mean_probe_length: 1.5,
+            load_factor: 0.2,
+        };
+        let b = ProbeStats {
+            operations: 30,
+            probes: 33,
+            collisions: 3,
+            max_probe_length: 2,
+            mean_probe_length: 1.1,
+            load_factor: 0.1,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.operations, 40);
+        assert_eq!(m.probes, 48);
+        assert_eq!(m.collisions, 8);
+        assert_eq!(m.max_probe_length, 3);
+        assert!((m.mean_probe_length - 1.2).abs() < 1e-12);
+        assert!((m.load_factor - 0.15).abs() < 1e-12);
+        // Merge with the identity leaves counters unchanged.
+        let id = ProbeStats::default();
+        assert_eq!(a.merge(&id).operations, a.operations);
+        assert_eq!(a.merge(&id).max_probe_length, a.max_probe_length);
     }
 
     #[test]

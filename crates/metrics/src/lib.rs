@@ -21,6 +21,16 @@
 //! are implemented from scratch and property-tested (e.g. every metric is
 //! exact on identical partitions, pair counts are consistent with brute
 //! force on small `n`).
+//!
+//! ```
+//! use louvain_metrics::{nmi, Partition};
+//!
+//! let a = Partition::from_labels(&[0, 0, 1, 1]);
+//! let b = Partition::from_labels(&[1, 1, 0, 0]);
+//! // Similarity metrics are label-permutation invariant: `b` renames
+//! // `a`'s communities, so the partitions are identical.
+//! assert!((nmi(&a, &b) - 1.0).abs() < 1e-12);
+//! ```
 
 pub mod evolution;
 pub mod modularity;

@@ -35,6 +35,9 @@ pub struct Exchange<'a, 'w, M: Send> {
     self_rank: usize,
     /// This rank's phase number (seeds the perturbation RNG).
     phase: u64,
+    /// Rank-cumulative [`RankCtx::bytes_sent`] when the phase opened, so
+    /// `finish` can attribute a byte delta to this phase alone.
+    bytes_at_start: u64,
     /// Call site of `ctx.exchange()`, reported by protocol diagnostics.
     loc: &'static Location<'static>,
 }
@@ -64,6 +67,7 @@ impl<'w, M: Send> RankCtx<'w, M> {
             self_buf: Vec::new(),
             self_rank: rank,
             phase,
+            bytes_at_start: self.bytes_sent.get(),
             loc: Location::caller(),
             ctx: self,
         }
@@ -100,6 +104,12 @@ impl<'a, 'w, M: Send> Exchange<'a, 'w, M> {
             return;
         }
         self.ctx.sent_messages += packet.len() as u64;
+        self.ctx.bytes_sent.set(
+            self.ctx
+                .bytes_sent
+                .get()
+                .saturating_add((packet.len() * std::mem::size_of::<M>()) as u64),
+        );
         if self.ctx.world.check_protocol {
             let p = self.ctx.world.p;
             let mut actual = self.ctx.world.actual_counts.lock();
@@ -150,6 +160,7 @@ impl<'a, 'w, M: Send> Exchange<'a, 'w, M> {
                 .map(|r| counts[r * p + rank])
                 .sum::<u64>()
         };
+        let sent_total = self.sent_count();
         let received = match self.ctx.world.perturb_seed {
             Some(seed) => self.drain_perturbed(expected, seed, &mut handler),
             None => self.drain_in_arrival_order(expected, &mut handler),
@@ -160,7 +171,18 @@ impl<'a, 'w, M: Send> Exchange<'a, 'w, M> {
         // barrier.
         self.ctx
             .charge(received as f64 * self.ctx.world.charge_per_message);
-        self.ctx.sim_sync();
+        let clock = self.ctx.sim_sync();
+        // Every field here is schedule-invariant: counts and bytes are
+        // rank-local program-order quantities and `clock` is the globally
+        // agreed post-sync value, so the emitted trace stays bit-identical
+        // across runs and across perturb seeds.
+        louvain_trace::emit_with(|| louvain_trace::Event::Exchange {
+            phase: "exchange",
+            sent: sent_total,
+            received,
+            bytes: self.ctx.bytes_sent.get() - self.bytes_at_start,
+            clock,
+        });
         received
     }
 

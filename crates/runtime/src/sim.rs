@@ -69,6 +69,25 @@ impl<'w, M: Send> RankCtx<'w, M> {
             sim.pending.iter_mut().for_each(|x| *x = 0.0);
         }
         self.wait_raw();
+        let clock = self.world.sim.lock().clock;
+        self.syncs.set(self.syncs.get() + 1);
+        louvain_trace::emit_with(|| louvain_trace::Event::Sync {
+            seq: self.syncs.get(),
+            clock,
+        });
+        clock
+    }
+
+    /// Current global simulated clock, *without* synchronizing — unlike
+    /// [`RankCtx::sim_time_units`] this is not a collective and charges
+    /// nothing. The clock only advances inside [`RankCtx::sim_sync`]
+    /// (which every rank enters in the same global order), so a read
+    /// taken right after a collective returns the same value on every
+    /// rank and is deterministic. Phase-breakdown instrumentation uses
+    /// this to attribute clock deltas to phases without adding syncs
+    /// that would perturb the cost model.
+    #[must_use]
+    pub fn sim_clock_units(&self) -> f64 {
         self.world.sim.lock().clock
     }
 

@@ -155,6 +155,10 @@ pub struct RankCtx<'w, M: Send> {
     pub(crate) work: Cell<f64>,
     /// Exchange phases started by this rank (seeds the perturbation RNG).
     pub(crate) exchange_seq: Cell<u64>,
+    /// Simulated synchronization points this rank has completed.
+    pub(crate) syncs: Cell<u64>,
+    /// Payload bytes this rank has pushed into remote packets.
+    pub(crate) bytes_sent: Cell<u64>,
 }
 
 impl<'w, M: Send> RankCtx<'w, M> {
@@ -174,6 +178,23 @@ impl<'w, M: Send> RankCtx<'w, M> {
     #[must_use]
     pub fn sent_messages(&self) -> u64 {
         self.sent_messages
+    }
+
+    /// Simulated synchronization points ([`RankCtx::sim_sync`]) this rank
+    /// has completed so far. Every exchange and collective ends in exactly
+    /// one, so this is the per-rank sync count of the Fig. 8-style
+    /// breakdown.
+    #[must_use]
+    pub fn sync_count(&self) -> u64 {
+        self.syncs.get()
+    }
+
+    /// Payload bytes this rank has pushed into remote packets so far
+    /// (`messages × size_of::<M>()`; self-sends bypass the network and
+    /// are not counted).
+    #[must_use]
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent.get()
     }
 
     /// Blocks until every rank reaches the barrier.
@@ -298,6 +319,8 @@ where
                         sent_messages: 0,
                         work: Cell::new(0.0),
                         exchange_seq: Cell::new(0),
+                        syncs: Cell::new(0),
+                        bytes_sent: Cell::new(0),
                     };
                     let out = f(&mut ctx);
                     if world.check_protocol {

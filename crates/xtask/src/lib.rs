@@ -17,6 +17,7 @@
 //! | `R1` | every `ctx.exchange()` phase reaches exactly one `.finish(..)` on all control-flow paths — no `return`, `?`, or loop-escaping `break`/`continue` can leak an open phase |
 //! | `R2` | no collective (`barrier`, `allreduce_*`, `allgather_*`, `exchange`, …) inside a conditional that branches on rank-local data (`rank` in the condition): all ranks must enter every collective |
 //! | `R3` | no raw `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` atomics outside `crates/runtime` — cross-rank communication goes through the runtime API |
+//! | `T1` | no wall-clock reads (`Instant::now`, `SystemTime::now`) on traced solver/runtime paths (`crates/{core,runtime,trace}`) outside the sanctioned `crates/core/src/timing.rs` module — wall time must never reach a deterministic trace or `BENCH_*.json` |
 //! | `SUP` | every suppression comment carries a non-empty reason |
 //!
 //! Suppress a finding with a comment of the form `lint: allow(D1) — reason`
@@ -27,10 +28,15 @@
 //!
 //! `lint --json` reports carry a `schema_version` field
 //! ([`JSON_SCHEMA_VERSION`]) so downstream consumers of
-//! `results/lint_baseline.json` can detect format changes.
+//! `results/lint_baseline.json` can detect format changes, plus a
+//! `bench_snapshot_schema_version` field
+//! ([`BENCH_SNAPSHOT_SCHEMA_VERSION`]) republishing the schema of the
+//! `BENCH_louvain.json` perf snapshot (DESIGN.md §9).
 
 #![warn(missing_docs)]
 
 pub mod lint;
 
-pub use lint::{lint_source, lint_workspace, Finding, Rule, JSON_SCHEMA_VERSION};
+pub use lint::{
+    lint_source, lint_workspace, Finding, Rule, BENCH_SNAPSHOT_SCHEMA_VERSION, JSON_SCHEMA_VERSION,
+};

@@ -38,13 +38,18 @@ pub enum Rule {
     /// Atomic memory orderings outside `crates/runtime` (and the
     /// dependency shims) require a justified suppression.
     R3,
+    /// Wall-clock reads (`Instant::now` / `SystemTime::now`) on traced
+    /// solver/runtime paths outside the sanctioned `timing.rs` module:
+    /// a wall-clock value reaching a trace or `BENCH_*.json` breaks the
+    /// bit-identical determinism contract.
+    T1,
     /// Suppression comment without a reason.
     Sup,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 11] = [
         Rule::D1,
         Rule::F1,
         Rule::F2,
@@ -54,6 +59,7 @@ impl Rule {
         Rule::R1,
         Rule::R2,
         Rule::R3,
+        Rule::T1,
         Rule::Sup,
     ];
 
@@ -70,6 +76,7 @@ impl Rule {
             Rule::R1 => "R1",
             Rule::R2 => "R2",
             Rule::R3 => "R3",
+            Rule::T1 => "T1",
             Rule::Sup => "SUP",
         }
     }
@@ -140,8 +147,16 @@ fn json_escape(s: &str) -> String {
 /// Version of the JSON report layout. Bump when the shape of the report
 /// (not the rule set) changes, so downstream diffing of lint baselines
 /// can detect incompatible layouts; adding rules only adds `counts`
-/// keys. Version 2 introduced the field itself alongside rules R1–R3.
-pub const JSON_SCHEMA_VERSION: u32 = 2;
+/// keys. Version 2 introduced the field itself alongside rules R1–R3;
+/// version 3 added `bench_snapshot_schema_version`.
+pub const JSON_SCHEMA_VERSION: u32 = 3;
+
+/// The `schema_version` of `BENCH_louvain.json` emitted by
+/// `louvain-bench bench-snapshot`, republished here so `xtask --json`
+/// consumers learn about snapshot compatibility from one report. Must
+/// track `louvain_bench::snapshot::SCHEMA_VERSION` (xtask deliberately
+/// has no dependencies, so a source-reading test enforces the match).
+pub const BENCH_SNAPSHOT_SCHEMA_VERSION: u64 = 1;
 
 /// Render findings as a JSON report: schema version, rule counts, and
 /// the finding list.
@@ -160,8 +175,9 @@ pub fn to_json_report(findings: &[Finding]) -> String {
         .map(|f| format!("    {}", f.to_json()))
         .collect();
     format!(
-        "{{\n  \"schema_version\": {},\n  \"total\": {},\n  \"counts\": {{{}}},\n  \"findings\": [\n{}\n  ]\n}}",
+        "{{\n  \"schema_version\": {},\n  \"bench_snapshot_schema_version\": {},\n  \"total\": {},\n  \"counts\": {{{}}},\n  \"findings\": [\n{}\n  ]\n}}",
         JSON_SCHEMA_VERSION,
+        BENCH_SNAPSHOT_SCHEMA_VERSION,
         findings.len(),
         counts_json.join(","),
         list.join(",\n")
@@ -351,6 +367,9 @@ struct FileClass {
     /// R3 exemption: the runtime implementation and the shims are the
     /// only places allowed to use atomics without a suppression.
     r3_exempt: bool,
+    /// T1 scope: traced solver/runtime/trace source, where wall-clock
+    /// reads are banned outside the sanctioned `timing.rs` module.
+    t1_scope: bool,
 }
 
 fn classify(rel: &str) -> FileClass {
@@ -373,6 +392,10 @@ fn classify(rel: &str) -> FileClass {
                 && rel.matches('/').count() == 3));
     let race_scope = !rel.starts_with("shims/");
     let r3_exempt = rel.starts_with("crates/runtime/src/") || rel.starts_with("shims/");
+    let t1_scope = ["core", "runtime", "trace"]
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+        && rel != "crates/core/src/timing.rs";
     FileClass {
         test_context,
         deterministic_path,
@@ -382,6 +405,7 @@ fn classify(rel: &str) -> FileClass {
         crate_root,
         race_scope,
         r3_exempt,
+        t1_scope,
     }
 }
 
@@ -1031,6 +1055,23 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
                 );
             }
         }
+
+        // T1 — no wall-clock reads on traced solver/runtime paths.
+        // `timing.rs` is the single sanctioned wrapper (`Stopwatch`);
+        // anywhere else, a wall-clock value is one assignment away from
+        // leaking into a deterministic output.
+        if class.t1_scope && (code.contains("Instant::now") || code.contains("SystemTime::now")) {
+            push(
+                lineno,
+                Rule::T1,
+                "wall-clock read on a traced solver/runtime path: route it through \
+                 `louvain_core::timing::Stopwatch` (timing.rs is the only sanctioned \
+                 wall-clock module) so no wall-clock value can reach a trace or \
+                 BENCH_*.json snapshot"
+                    .to_string(),
+                &mut findings,
+            );
+        }
     }
 
     // R1/R2 — cross-line collective-discipline passes over the non-test
@@ -1286,6 +1327,41 @@ mod tests {
         // `std::cmp::Ordering` never matches.
         let cmp = "match a.cmp(&b) { std::cmp::Ordering::Less => {} _ => {} }\n";
         assert!(lint_source("crates/core/src/foo.rs", cmp).is_empty());
+    }
+
+    #[test]
+    fn t1_bans_wall_clock_outside_timing_module() {
+        let src = "let t0 = std::time::Instant::now();\n";
+        assert!(lint_source("crates/core/src/parallel.rs", src)
+            .iter()
+            .any(|f| f.rule == Rule::T1));
+        assert!(lint_source("crates/runtime/src/sim.rs", src)
+            .iter()
+            .any(|f| f.rule == Rule::T1));
+        assert!(lint_source("crates/trace/src/lib.rs", src)
+            .iter()
+            .any(|f| f.rule == Rule::T1));
+        // The sanctioned wall-clock module is exempt.
+        assert!(lint_source("crates/core/src/timing.rs", src)
+            .iter()
+            .all(|f| f.rule != Rule::T1));
+        // Out-of-scope crates (bench drives the harness on wall time).
+        assert!(lint_source("crates/bench/src/report.rs", src)
+            .iter()
+            .all(|f| f.rule != Rule::T1));
+        // SystemTime is just as banned.
+        let st = "let now = std::time::SystemTime::now();\n";
+        assert!(lint_source("crates/core/src/seq.rs", st)
+            .iter()
+            .any(|f| f.rule == Rule::T1));
+    }
+
+    #[test]
+    fn t1_exempts_test_tail() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = std::time::Instant::now(); }\n}\n";
+        assert!(lint_source("crates/core/src/parallel.rs", src)
+            .iter()
+            .all(|f| f.rule != Rule::T1));
     }
 
     #[test]

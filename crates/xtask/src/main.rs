@@ -103,9 +103,19 @@ fn run_check() -> ExitCode {
             .args(["run", "-q", "-p", "xtask", "--", "lint"])
             .current_dir(&root),
     ) && run_step(
+        "cargo build --examples",
+        Command::new("cargo")
+            .args(["build", "--examples"])
+            .current_dir(&root),
+    ) && run_step(
         "cargo test -q",
         Command::new("cargo")
             .args(["test", "-q"])
+            .current_dir(&root),
+    ) && run_step(
+        "cargo test --doc",
+        Command::new("cargo")
+            .args(["test", "--workspace", "--doc", "-q"])
             .current_dir(&root),
     );
     if ok {

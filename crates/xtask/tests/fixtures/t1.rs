@@ -1,0 +1,12 @@
+// lint-fixture-path: crates/core/src/fixture_t1.rs
+//! T1 fixture: a raw wall-clock read on a traced solver path, outside
+//! the sanctioned `timing.rs` module. Wall time leaking into a traced
+//! phase would break the bit-identical trace/snapshot contract.
+
+use std::time::Instant;
+
+/// Measures a phase with the wall clock instead of `Stopwatch`.
+pub fn measure() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

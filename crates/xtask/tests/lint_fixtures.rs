@@ -87,6 +87,11 @@ fn r3_fixture_fires() {
 }
 
 #[test]
+fn t1_fixture_fires() {
+    assert_only_rule("t1.rs", Rule::T1);
+}
+
+#[test]
 fn clean_fixture_is_clean() {
     let findings = lint_fixture("clean.rs");
     assert!(findings.is_empty(), "clean fixture flagged: {findings:?}");
@@ -133,7 +138,9 @@ fn cli_exits_nonzero_on_fixture_directory() {
         "fixture directory must produce a failing exit"
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for rule in ["D1", "F1", "F2", "U1", "P1", "C1", "SUP", "R1", "R2", "R3"] {
+    for rule in [
+        "D1", "F1", "F2", "U1", "P1", "C1", "SUP", "R1", "R2", "R3", "T1",
+    ] {
         assert!(stdout.contains(rule), "CLI report misses rule {rule}");
     }
 }
@@ -159,4 +166,33 @@ fn cli_json_report_is_well_formed() {
         "missing findings: {stdout}"
     );
     assert!(stdout.contains("\"rule\":\"D1\""), "missing D1: {stdout}");
+    assert!(
+        stdout.contains(&format!(
+            "\"bench_snapshot_schema_version\": {}",
+            xtask::BENCH_SNAPSHOT_SCHEMA_VERSION
+        )),
+        "missing bench_snapshot_schema_version: {stdout}"
+    );
+}
+
+/// `xtask` republishes the bench snapshot's schema version without a
+/// dependency on `louvain-bench`, so the two constants can drift. This
+/// test reads the bench source and pins them together: bumping one
+/// without the other fails here.
+#[test]
+fn bench_snapshot_schema_version_matches_bench_source() {
+    let src = std::fs::read_to_string(workspace_root().join("crates/bench/src/snapshot.rs"))
+        .expect("bench snapshot source exists");
+    let needle = "pub const SCHEMA_VERSION: u64 = ";
+    let pos = src.find(needle).expect("SCHEMA_VERSION declared in bench");
+    let rest = &src[pos + needle.len()..];
+    let end = rest.find(';').expect("terminated declaration");
+    let value: u64 = rest[..end].trim().parse().expect("numeric schema version");
+    assert_eq!(
+        value,
+        xtask::BENCH_SNAPSHOT_SCHEMA_VERSION,
+        "louvain_bench::snapshot::SCHEMA_VERSION ({value}) and \
+         xtask::BENCH_SNAPSHOT_SCHEMA_VERSION ({}) must move together",
+        xtask::BENCH_SNAPSHOT_SCHEMA_VERSION
+    );
 }

@@ -14,8 +14,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo run -q -p xtask -- lint"
 cargo run -q -p xtask -- lint
 
+echo "==> cargo build --examples"
+cargo build --examples
+
 echo "==> cargo test -q (workspace)"
 cargo test --workspace -q
+
+echo "==> cargo test --doc (workspace)"
+cargo test --workspace --doc -q
 
 # Schedule-perturbation race harness: the parallel solver must produce
 # bit-identical output under permuted message-delivery orders (2 and 4
