@@ -25,7 +25,12 @@ use std::fmt::Write as _;
 /// removal, or semantic change (additions are allowed within a version);
 /// `xtask --json` republishes this number so report consumers can gate on
 /// it.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: state propagation switched to delta mode — `messages`/`bytes_sent`
+/// measure a different protocol than v1 (plus new `delta_messages`,
+/// `dedup_hits`, `cache_invalidations` fields), so v1/v2 volumes must not
+/// be compared as if like-for-like.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Output path, relative to the working directory (the workspace root
 /// under `cargo run`).
@@ -442,6 +447,18 @@ fn workload_entry(name: &str, vertices: usize, r: &ParallelResult) -> Json {
         ("packets".into(), Json::UInt(r.comm.packets)),
         ("syncs".into(), Json::UInt(r.syncs)),
         ("bytes_sent".into(), Json::UInt(r.bytes_sent)),
+        // Delta-mode volumes (schema v2): how much of the wire traffic is
+        // state propagation, how many keyed sends the coalescing layer
+        // absorbed, and how many per-level caches reconstruction retired.
+        (
+            "delta_messages".into(),
+            Json::UInt(r.comm_breakdown.state_propagation),
+        ),
+        ("dedup_hits".into(), Json::UInt(r.comm.dedup_hits)),
+        (
+            "cache_invalidations".into(),
+            Json::UInt(r.cache_invalidations),
+        ),
         ("trace_events".into(), Json::UInt(trace_events)),
     ])
 }

@@ -21,6 +21,9 @@ const WORKLOAD_KEYS: &[&str] = &[
     "packets",
     "syncs",
     "bytes_sent",
+    "delta_messages",
+    "dedup_hits",
+    "cache_invalidations",
     "trace_events",
 ];
 

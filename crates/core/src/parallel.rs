@@ -19,6 +19,17 @@
 //! re-propagate state, and accumulate `Σ_in` to compute the new
 //! modularity.
 //!
+//! STATE PROPAGATION is **delta-compressed** (DESIGN.md §10): the
+//! Out-Table is built once per level from purely local data (every level
+//! starts with identity labels, so no communication is needed), and each
+//! inner iteration thereafter broadcasts only `(vertex, new_community)`
+//! pairs for vertices that actually migrated. Receivers patch the
+//! persistent Out-Table through a per-level [`RemoteCache`] instead of
+//! rebuilding it; the cache is invalidated (rebuilt) at every GRAPH
+//! RECONSTRUCTION. An iteration in which no vertex migrates anywhere
+//! exchanges zero state-propagation messages — the inner loop then
+//! terminates through the modularity collective that follows.
+//!
 //! GRAPH RECONSTRUCTION (Algorithm 5) compacts surviving community ids,
 //! then turns the Out-Table into the next level's In-Table with a single
 //! all-to-all: entry `((u, c), w)` becomes message `((c'_new, c_new), w)`
@@ -173,6 +184,10 @@ pub struct ParallelResult {
     /// keyed on the simulated clock and are bit-identical across runs and
     /// across `perturb_seed`s.
     pub traces: Vec<RankTrace>,
+    /// Remote-state cache rebuilds forced by graph reconstruction, summed
+    /// across ranks (the level-0 build is a construction, not an
+    /// invalidation). See DESIGN.md §10.
+    pub cache_invalidations: u64,
 }
 
 impl ParallelResult {
@@ -248,6 +263,97 @@ struct RankLevel {
     size: Vec<u32>,
 }
 
+/// Per-level index over the local In-Table that makes delta-based state
+/// propagation O(migrations), plus the community cache it patches
+/// against (DESIGN.md §10).
+///
+/// `srcs`/`labels`/`offsets`/`pairs` serve the *receiver* side: a delta
+/// `(u, c_new)` is applied by looking up `u` in `srcs` and re-pointing
+/// every affected Out-Table row `(d, labels[u]) → (d, c_new)` by weight.
+/// `out_offsets`/`out_srcs` serve the *sender* side: the sorted neighbor
+/// sources of each local vertex, i.e. exactly the rows other ranks hold
+/// for it, so a migration is announced to precisely the owners that need
+/// the patch.
+///
+/// The whole structure is derived from the In-Table, which is immutable
+/// within a level — so the cache's epoch *is* the level, and GRAPH
+/// RECONSTRUCTION (which replaces the In-Table) is the one event that
+/// invalidates it.
+struct RemoteCache {
+    /// Sorted distinct source vertices appearing in the local In-Table.
+    srcs: Vec<u32>,
+    /// Cached community of `srcs[i]`, kept current by applied deltas.
+    /// Initialized to the identity labels every level starts with.
+    labels: Vec<u32>,
+    /// CSR offsets into `pairs`, one slice per entry of `srcs`.
+    offsets: Vec<usize>,
+    /// `(local vertex, weight)` Out-Table rows affected by each source,
+    /// sorted by (source, vertex) — deterministic regardless of the
+    /// In-Table's arrival-order-dependent slot layout.
+    pairs: Vec<(u32, f64)>,
+    /// CSR offsets into `out_srcs`, one slice per local vertex.
+    out_offsets: Vec<usize>,
+    /// Sorted neighbor sources of each local vertex (the transpose view).
+    out_srcs: Vec<u32>,
+}
+
+impl RemoteCache {
+    /// Builds the cache for `lvl` (one pass over the In-Table plus two
+    /// sorts). Labels start at the identity mapping because every level
+    /// begins with singleton communities `c = v` — known without
+    /// communication.
+    fn build(lvl: &RankLevel, rank: usize) -> Self {
+        let part = lvl.part;
+        let mut triples: Vec<(u32, u32, f64)> = Vec::with_capacity(lvl.in_table.len());
+        for (key, w) in lvl.in_table.iter() {
+            let (s, d) = unpack_key(key);
+            triples.push((s, d, w));
+        }
+        // Keys are distinct `(s, d)` pairs, so this order is total.
+        triples.sort_unstable_by_key(|&(s, d, _)| (s, d));
+        let mut srcs: Vec<u32> = Vec::new();
+        let mut offsets: Vec<usize> = Vec::new();
+        let mut pairs: Vec<(u32, f64)> = Vec::with_capacity(triples.len());
+        for &(s, d, w) in &triples {
+            if srcs.last() != Some(&s) {
+                srcs.push(s);
+                offsets.push(pairs.len());
+            }
+            pairs.push((d, w));
+        }
+        offsets.push(pairs.len());
+        let labels = srcs.clone();
+        // Transpose: neighbor sources per local vertex, sorted.
+        let local_n = part.local_count(rank);
+        let mut degree = vec![0usize; local_n];
+        for &(_, d, _) in &triples {
+            degree[part.local_index(d)] += 1;
+        }
+        let mut out_offsets = vec![0usize; local_n + 1];
+        for li in 0..local_n {
+            out_offsets[li + 1] = out_offsets[li] + degree[li];
+        }
+        let mut out_srcs = vec![0u32; triples.len()];
+        let mut cursor = out_offsets.clone();
+        for &(s, d, _) in &triples {
+            let li = part.local_index(d);
+            out_srcs[cursor[li]] = s;
+            cursor[li] += 1;
+        }
+        for li in 0..local_n {
+            out_srcs[out_offsets[li]..out_offsets[li + 1]].sort_unstable();
+        }
+        Self {
+            srcs,
+            labels,
+            offsets,
+            pairs,
+            out_offsets,
+            out_srcs,
+        }
+    }
+}
+
 /// What each rank reports back to the driver.
 struct RankOutput {
     /// Final community (dense id) of each originally-local vertex.
@@ -266,6 +372,9 @@ struct RankOutput {
     sim_breakdown: SimBreakdown,
     syncs: u64,
     bytes_sent: u64,
+    /// Remote-state caches discarded because reconstruction replaced the
+    /// In-Table they indexed.
+    cache_invalidations: u64,
     trace: Option<RankTrace>,
 }
 
@@ -386,6 +495,7 @@ impl ParallelLouvain {
             .fold(SimBreakdown::default(), |acc, r| acc.max(&r.sim_breakdown));
         let syncs = rank_outputs[0].syncs;
         let bytes_sent = rank_outputs.iter().map(|r| r.bytes_sent).sum();
+        let cache_invalidations = rank_outputs.iter().map(|r| r.cache_invalidations).sum();
         let traces: Vec<RankTrace> = rank_outputs
             .iter_mut()
             .filter_map(|r| r.trace.take())
@@ -410,6 +520,7 @@ impl ParallelLouvain {
             sim_breakdown,
             syncs,
             bytes_sent,
+            cache_invalidations,
             traces,
         }
     }
@@ -460,10 +571,19 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
     let mut q_prev_level = f64::NEG_INFINITY;
     let mut first_level_time = Duration::ZERO;
     let mut sim_first_level_units = 0.0f64;
+    let mut cache_invalidations = 0u64;
 
     for level_idx in 0..cfg.max_levels {
         let level_start = Stopwatch::start();
         let record_inner = level_idx == 0;
+        // The remote-state cache is an index over the In-Table, which is
+        // immutable within a level — its epoch IS the level. Graph
+        // reconstruction replaced the In-Table, so every level after the
+        // first begins by discarding the stale cache (DESIGN.md §10).
+        if level_idx > 0 {
+            cache_invalidations += 1;
+        }
+        let mut cache = RemoteCache::build(&lvl, ctx.rank());
         // --- REFINE (Algorithm 4) ---
         louvain_trace::emit_with(|| Event::Enter {
             phase: "refine",
@@ -473,6 +593,7 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
         let (q, iterations, fractions, q_trace) = refine(
             ctx,
             &mut lvl,
+            &mut cache,
             &mut out_table,
             s,
             cfg,
@@ -547,6 +668,21 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
         name: "runtime.messages_sent",
         value: ctx.sent_messages(),
     });
+    // Delta-mode counters (all rank-local program-order quantities;
+    // dedup_hits is a per-phase multiset property, so none of these can
+    // vary with the perturbed delivery schedule).
+    louvain_trace::emit_with(|| Event::Count {
+        name: "delta.state_propagation_messages",
+        value: comm.state_propagation,
+    });
+    louvain_trace::emit_with(|| Event::Count {
+        name: "delta.cache_invalidations",
+        value: cache_invalidations,
+    });
+    louvain_trace::emit_with(|| Event::Count {
+        name: "runtime.dedup_hits",
+        value: ctx.dedup_hits(),
+    });
     RankOutput {
         orig_comm,
         levels,
@@ -561,6 +697,7 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
         sim_breakdown: sim,
         syncs: ctx.sync_count(),
         bytes_sent: ctx.bytes_sent(),
+        cache_invalidations,
         trace: louvain_trace::take(),
     }
 }
@@ -686,19 +823,73 @@ fn build_initial_level_distributed(
     }
 }
 
-/// STATE PROPAGATION (Algorithm 3): rebuild the Out-Table from the
-/// In-Table under the current labels.
-fn state_propagation(ctx: &mut RankCtx<'_, Msg>, lvl: &RankLevel, out_table: &mut EdgeTable) {
+/// STATE PROPAGATION (Algorithm 3), level-start edition: every level
+/// begins with singleton communities `c = v`, and the In-Table stores
+/// each edge symmetrically on both endpoints' owners — so the initial
+/// Out-Table is a pure re-keying of local data. Zero messages; the old
+/// implementation shipped one message per arc here (DESIGN.md §10).
+fn build_out_table_local(lvl: &RankLevel, out_table: &mut EdgeTable) {
     out_table.reset_for(lvl.in_table.len().max(8));
-    let part = lvl.part;
-    let mut ex = ctx.exchange();
     for (key, w) in lvl.in_table.iter() {
-        let (v, u) = unpack_key(key);
-        let c = lvl.label[part.local_index(u)];
-        ex.send(part.owner(v), Msg { a: v, b: c, w });
+        let (s, d) = unpack_key(key);
+        out_table.accumulate(pack_key(d, s), w);
+    }
+}
+
+/// STATE PROPAGATION (Algorithm 3), steady-state edition: instead of
+/// rebuilding the Out-Table from scratch, each rank announces only the
+/// vertices that migrated this sweep as `(vertex, new_community)` deltas
+/// — keyed sends, so a vertex with many neighbors on one rank costs one
+/// message — and receivers patch the Out-Table through the
+/// [`RemoteCache`]: every affected row moves its weight from the cached
+/// old community to the new one. A community a vertex fully left keeps
+/// an exact-0.0 residue row; consumers skip those (DESIGN.md §10).
+fn propagate_deltas(
+    ctx: &mut RankCtx<'_, Msg>,
+    lvl: &RankLevel,
+    cache: &mut RemoteCache,
+    out_table: &mut EdgeTable,
+    migrated: &[(u32, u32)],
+) {
+    let part = lvl.part;
+    // Split borrows: the send loop reads the transpose view while the
+    // receive closure patches the label cache.
+    let RemoteCache {
+        srcs,
+        labels,
+        offsets,
+        pairs,
+        out_offsets,
+        out_srcs,
+    } = cache;
+    let mut ex = ctx.exchange();
+    for &(u, c_new) in migrated {
+        let li = part.local_index(u);
+        for &s in &out_srcs[out_offsets[li]..out_offsets[li + 1]] {
+            ex.send_keyed(
+                part.owner(s),
+                u64::from(u),
+                Msg {
+                    a: u,
+                    b: c_new,
+                    w: 0.0,
+                },
+            );
+        }
     }
     ex.finish(|m| {
-        out_table.accumulate(pack_key(m.a, m.b), m.w);
+        // Only owners of neighbors of `m.a` receive this delta, so the
+        // lookup always hits; guard anyway rather than unwrap (P1).
+        if let Ok(idx) = srcs.binary_search(&m.a) {
+            let c_old = labels[idx];
+            if c_old != m.b {
+                labels[idx] = m.b;
+                for &(d, w) in &pairs[offsets[idx]..offsets[idx + 1]] {
+                    out_table.accumulate(pack_key(d, c_old), -w);
+                    out_table.accumulate(pack_key(d, m.b), w);
+                }
+            }
+        }
     });
 }
 
@@ -726,6 +917,7 @@ fn gather_snapshot(ctx: &RankCtx<'_, Msg>, lvl: &RankLevel, local: &[f64]) -> Ve
 fn refine(
     ctx: &mut RankCtx<'_, Msg>,
     lvl: &mut RankLevel,
+    cache: &mut RemoteCache,
     out_table: &mut EdgeTable,
     s: f64,
     cfg: &ParallelConfig,
@@ -755,14 +947,17 @@ fn refine(
         sim_last = now;
     };
 
-    // Initial propagation (Algorithm 2, line 5).
+    // Initial propagation (Algorithm 2, line 5): built from purely local
+    // data — the level starts at the identity labelling, so no rank needs
+    // remote state yet. Charge the local pass; the clock realizes it at
+    // the next collective.
     let t_prop0 = Stopwatch::start();
-    let sent_before = ctx.sent_messages();
-    state_propagation(ctx, lvl, out_table);
-    comm.state_propagation += ctx.sent_messages() - sent_before;
+    build_out_table_local(lvl, out_table);
+    ctx.charge(lvl.in_table.len() as f64 * cfg.charge_per_message);
     sim_lap(ctx, &mut sim.state_propagation);
     let prop0 = t_prop0.elapsed();
     timers.add(Phase::StatePropagation, prop0);
+    let mut migrated: Vec<(u32, u32)> = Vec::new();
 
     for iter in 1..=cfg.max_inner_iterations {
         iterations = iter;
@@ -786,6 +981,15 @@ fn refine(
             remove_cache[li] = dq::remove_gain(w_own, lvl.k[li], tot_snap[c_u as usize], s);
         }
         for (key, w) in out_table.iter() {
+            // Delta patches leave exact-0.0 residue rows for communities
+            // a vertex fully left; skipping them makes the patched table
+            // behave exactly like a freshly rebuilt one (a residue row
+            // must never look like a real candidate community).
+            #[allow(clippy::float_cmp)]
+            // lint: allow(F1) — residue rows are exactly 0.0: patches subtract the same weights they added
+            if w == 0.0 {
+                continue;
+            }
             let (u, c_new) = unpack_key(key);
             let li = lvl.part.local_index(u);
             let c_u = lvl.label[li];
@@ -852,6 +1056,7 @@ fn refine(
         let sent_before = ctx.sent_messages();
         let mut tot_view = tot_snap;
         let mut local_moves = 0u64;
+        migrated.clear();
         {
             let part = lvl.part;
             let label = &mut lvl.label;
@@ -887,6 +1092,7 @@ fn refine(
                     }
                     label[li] = c_new;
                     local_moves += 1;
+                    migrated.push((u, c_new));
                     // b flags join (1) vs leave (0) for size tracking.
                     ex.send(
                         part.owner(c_old),
@@ -926,9 +1132,16 @@ fn refine(
         fractions.push(moves as f64 / lvl.n.max(1) as f64);
 
         // --- STATE PROPAGATION (Algorithm 4, line 16) ---
+        // Delta mode: only migrated vertices are announced. `moves` is
+        // the allreduce result, identical on every rank, so when nothing
+        // moved anywhere the exchange is skipped in lockstep (the
+        // zero-delta fast path) and the iteration still terminates
+        // through the modularity collective below.
         let t_prop = Stopwatch::start();
         let sent_before = ctx.sent_messages();
-        state_propagation(ctx, lvl, out_table);
+        if moves > 0 {
+            propagate_deltas(ctx, lvl, cache, out_table, &migrated);
+        }
         comm.state_propagation += ctx.sent_messages() - sent_before;
         sim_lap(ctx, &mut sim.state_propagation);
         timers.add(Phase::StatePropagation, t_prop.elapsed());
@@ -1027,7 +1240,12 @@ fn compute_modularity(
         let mut ex = ctx.exchange();
         for (key, w) in out_table.iter() {
             let (u, c) = unpack_key(key);
-            if label[part.local_index(u)] == c {
+            // Residue rows (see the find-best scan) carry no weight and
+            // must not be shipped.
+            #[allow(clippy::float_cmp)]
+            // lint: allow(F1) — residue rows are exactly 0.0: patches subtract the same weights they added
+            let live = w != 0.0;
+            if live && label[part.local_index(u)] == c {
                 ex.send(part.owner(c), Msg { a: c, b: 0, w });
             }
         }
@@ -1130,10 +1348,18 @@ fn reconstruct(
         let label = &lvl.label;
         let mut ex = ctx.exchange();
         for (key, w) in out_table.iter() {
-            let (u, c_old) = unpack_key(key);
-            let a = map[&label[part.local_index(u)]];
-            let b = map[&c_old];
-            ex.send(part_next.owner(b), Msg { a, b, w });
+            // Residue rows may name communities that emptied out and got
+            // no dense id — `map[&c_old]` would panic on them, and they
+            // carry no weight anyway.
+            #[allow(clippy::float_cmp)]
+            // lint: allow(F1) — residue rows are exactly 0.0: patches subtract the same weights they added
+            let live = w != 0.0;
+            if live {
+                let (u, c_old) = unpack_key(key);
+                let a = map[&label[part.local_index(u)]];
+                let b = map[&c_old];
+                ex.send(part_next.owner(b), Msg { a, b, w });
+            }
         }
         ex.finish(|m| {
             in_table.accumulate(pack_key(m.a, m.b), m.w);
@@ -1292,11 +1518,16 @@ mod tests {
         let (el, _) = planted_graph(19);
         let r = ParallelLouvain::new(ParallelConfig::with_ranks(3)).run(&el);
         let cb = r.comm_breakdown;
-        // Every remote message belongs to exactly one phase, and state
-        // propagation dominates (it runs twice per inner iteration).
+        // Every remote message belongs to exactly one phase.
         assert_eq!(cb.total(), r.comm.messages);
-        assert!(cb.state_propagation > cb.update);
-        assert!(cb.state_propagation > cb.reconstruction);
+        // Delta mode: the level-start Out-Table build is local and the
+        // steady state ships only migrations, so state propagation no
+        // longer dominates — but migrations did happen, so it is not
+        // silent either, and its keyed sends are where dedup lives.
+        assert!(cb.state_propagation > 0);
+        assert!(cb.state_propagation < cb.modularity);
+        assert!(r.comm.dedup_hits > 0);
+        assert!(r.cache_invalidations > 0);
         // Replicated loading sends nothing.
         assert_eq!(cb.loading, 0);
         // Distributed loading does.
@@ -1315,6 +1546,29 @@ mod tests {
             .run_from_parts(el.num_vertices(), |r| chunks[r].clone());
         assert!(r2.comm_breakdown.loading > 0);
         assert_eq!(r2.comm_breakdown.total(), r2.comm.messages);
+    }
+
+    #[test]
+    fn zero_delta_fast_path_sends_no_state_propagation_messages() {
+        // Two vertices with only self-loops: no vertex ever migrates, so
+        // the inner loop runs exactly one iteration in which (a) the
+        // Out-Table is built from local data and (b) the delta exchange
+        // is skipped in lockstep — zero state-propagation messages —
+        // while the phase still terminates through the closing
+        // modularity collective.
+        let mut b = EdgeListBuilder::new(2);
+        b.add_edge(0, 0, 1.0);
+        b.add_edge(1, 1, 1.0);
+        let el = b.build();
+        let r = ParallelLouvain::new(ParallelConfig::with_ranks(2)).run(&el);
+        assert_eq!(r.comm_breakdown.state_propagation, 0);
+        assert_eq!(r.result.levels.len(), 1);
+        assert_eq!(r.result.levels[0].inner_iterations, 1);
+        // The run still synced (collectives closed every superstep).
+        assert!(r.syncs > 0);
+        let g = el.to_csr();
+        let q = modularity(&g, &r.result.final_partition);
+        assert!((q - r.result.final_modularity).abs() < 1e-12);
     }
 
     #[test]

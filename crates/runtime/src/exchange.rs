@@ -15,9 +15,21 @@
 //!    on each;
 //! 3. a final barrier guarantees no rank starts the next phase while
 //!    others are still draining this one.
+//!
+//! Besides plain [`Exchange::send`], a phase supports **keyed sends**
+//! ([`Exchange::send_keyed`]): per-destination buffers that deduplicate
+//! same-key updates with last-writer-wins semantics and pack the
+//! surviving messages into full packets at [`Exchange::finish`]. This is
+//! the communication-reduction primitive behind delta-based state
+//! propagation — a vertex whose community is announced twice within one
+//! phase costs one message, not two. Last-writer dedup is safe under the
+//! BSP model because nothing is delivered until the phase closes: within
+//! a phase, only the final value of a key is observable anyway (see
+//! DESIGN.md §10).
 
 use crate::sim::PerturbRng;
 use crate::world::{CollectiveKind, RankCtx};
+use std::collections::BTreeMap;
 use std::panic::Location;
 use std::sync::atomic::Ordering;
 
@@ -33,6 +45,15 @@ pub struct Exchange<'a, 'w, M: Send> {
     /// the handler at `finish`.
     self_buf: Vec<M>,
     self_rank: usize,
+    /// Per-destination keyed buffers ([`Exchange::send_keyed`]): one
+    /// ordered map per destination so the flush order at `finish` is
+    /// deterministic (sorted by key), independent of send order.
+    keyed: Vec<BTreeMap<u64, M>>,
+    /// Keyed sends absorbed by same-key dedup in this phase.
+    keyed_hits: u64,
+    /// Whether any keyed send happened this phase (gates the dedup trace
+    /// sample so plain phases stay byte-identical to the pre-keyed era).
+    keyed_used: bool,
     /// This rank's phase number (seeds the perturbation RNG).
     phase: u64,
     /// Rank-cumulative [`RankCtx::bytes_sent`] when the phase opened, so
@@ -64,6 +85,9 @@ impl<'w, M: Send> RankCtx<'w, M> {
         Exchange {
             outbufs: (0..p).map(|_| Vec::new()).collect(),
             sent: vec![0; p],
+            keyed: (0..p).map(|_| BTreeMap::new()).collect(),
+            keyed_hits: 0,
+            keyed_used: false,
             self_buf: Vec::new(),
             self_rank: rank,
             phase,
@@ -93,7 +117,45 @@ impl<'a, 'w, M: Send> Exchange<'a, 'w, M> {
         }
     }
 
-    /// Messages sent so far in this phase (including self-sends).
+    /// Buffers `msg` for `dest` under `key`, deduplicating against any
+    /// earlier keyed send to the same `(dest, key)` in this phase —
+    /// last writer wins. Surviving messages are packed into packets and
+    /// charged when the phase flushes at [`Exchange::finish`], so a
+    /// deduplicated update costs nothing on the wire.
+    ///
+    /// Determinism contract: within one phase, either all keyed sends to
+    /// the same `(dest, key)` must carry an equal payload, or the caller
+    /// must issue them in a deterministic order — otherwise "last writer"
+    /// would depend on iteration order. Delta-based state propagation
+    /// satisfies the first form (a vertex announces one new community per
+    /// phase, however many of its arcs point at the destination).
+    pub fn send_keyed(&mut self, dest: usize, key: u64, msg: M) {
+        debug_assert!(dest < self.keyed.len(), "destination out of range");
+        self.keyed_used = true;
+        if self.keyed[dest].insert(key, msg).is_some() {
+            self.keyed_hits += 1;
+        }
+    }
+
+    /// Drains the keyed buffers through the plain send path (which
+    /// charges, counts, and packs each surviving message), in destination
+    /// order and key order — deterministic regardless of the order the
+    /// keyed sends were issued in.
+    fn flush_keyed(&mut self) {
+        if !self.keyed_used {
+            return;
+        }
+        for dest in 0..self.keyed.len() {
+            let buf = std::mem::take(&mut self.keyed[dest]);
+            for (_, msg) in buf {
+                self.send(dest, msg);
+            }
+        }
+    }
+
+    /// Messages sent so far in this phase (including self-sends). Keyed
+    /// sends are counted only once flushed at [`Exchange::finish`], when
+    /// deduplication has resolved.
     #[must_use]
     pub fn sent_count(&self) -> u64 {
         self.sent.iter().sum::<u64>() + self.self_buf.len() as u64
@@ -137,7 +199,9 @@ impl<'a, 'w, M: Send> Exchange<'a, 'w, M> {
     pub fn finish<F: FnMut(M)>(mut self, mut handler: F) -> u64 {
         let p = self.ctx.num_ranks();
         let rank = self.ctx.rank();
-        // Flush partial packets.
+        // Resolve keyed buffers into the packet path, then flush partial
+        // packets.
+        self.flush_keyed();
         for dest in 0..p {
             let packet = std::mem::take(&mut self.outbufs[dest]);
             self.flush_packet(dest, packet);
@@ -183,6 +247,19 @@ impl<'a, 'w, M: Send> Exchange<'a, 'w, M> {
             bytes: self.ctx.bytes_sent.get() - self.bytes_at_start,
             clock,
         });
+        if self.keyed_used {
+            // Dedup hits are a multiset property of this rank's own keyed
+            // sends (count minus distinct keys per destination), so the
+            // sample is schedule-invariant like every other trace field.
+            self.ctx
+                .dedup_hits
+                .set(self.ctx.dedup_hits.get() + self.keyed_hits);
+            let hits = self.keyed_hits;
+            louvain_trace::emit_with(|| louvain_trace::Event::Count {
+                name: "exchange.dedup_hits",
+                value: hits,
+            });
+        }
         received
     }
 
@@ -533,6 +610,137 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(sorted(&a1), sorted(&b));
+    }
+
+    #[test]
+    fn keyed_sends_deduplicate_last_writer_wins() {
+        // Rank 0 announces key 7 three times with different payloads and
+        // key 9 once; rank 1 must receive exactly two messages, with the
+        // last payload winning for key 7, and the two absorbed updates
+        // must show up in the dedup counter — not on the wire.
+        let cfg = RuntimeConfig {
+            check_protocol: true,
+            ..RuntimeConfig::new(2)
+        };
+        let (out, stats) = run_with_config::<u64, _, _>(cfg, |ctx| {
+            let rank = ctx.rank();
+            let mut ex = ctx.exchange();
+            if rank == 0 {
+                ex.send_keyed(1, 7, 100);
+                ex.send_keyed(1, 7, 200);
+                ex.send_keyed(1, 9, 900);
+                ex.send_keyed(1, 7, 300);
+            }
+            let mut got = Vec::new();
+            ex.finish(|m| got.push(m));
+            got
+        });
+        assert_eq!(out[0], Vec::<u64>::new());
+        // Flush order is key order: key 7's survivor before key 9's.
+        assert_eq!(out[1], vec![300, 900]);
+        assert_eq!(stats.messages, 2, "deduplicated updates must not ship");
+        assert_eq!(stats.dedup_hits, 2);
+    }
+
+    #[test]
+    fn keyed_self_sends_bypass_the_wire() {
+        // Keyed self-sends dedup like remote ones but never become
+        // packets; they reach the handler through the self-send buffer.
+        let (out, stats) = run_with_config::<u64, _, _>(
+            RuntimeConfig {
+                check_protocol: true,
+                ..RuntimeConfig::new(2)
+            },
+            |ctx| {
+                let rank = ctx.rank();
+                let mut ex = ctx.exchange();
+                ex.send_keyed(rank, 1, 10);
+                ex.send_keyed(rank, 1, 20);
+                ex.send_keyed(rank, 2, 30);
+                let mut sum = 0u64;
+                ex.finish(|m| sum += m);
+                sum
+            },
+        );
+        assert_eq!(out, vec![50, 50]);
+        assert_eq!(stats.messages, 0, "self-sends never touch the channel");
+        assert_eq!(stats.packets, 0);
+        assert_eq!(stats.dedup_hits, 2);
+    }
+
+    #[test]
+    fn keyed_and_plain_sends_share_a_phase() {
+        // Plain sends flush eagerly, keyed sends flush at finish; counts
+        // and quiescence must hold with both in flight in one phase.
+        let cfg = RuntimeConfig {
+            coalesce_capacity: 2,
+            check_protocol: true,
+            ..RuntimeConfig::new(3)
+        };
+        let (out, stats) = run_with_config::<(u64, u64), _, _>(cfg, |ctx| {
+            let p = ctx.num_ranks();
+            let rank = ctx.rank() as u64;
+            let mut ex = ctx.exchange();
+            for d in 0..p {
+                ex.send(d, (rank, 1));
+                ex.send_keyed(d, 42, (rank, 2));
+                ex.send_keyed(d, 42, (rank, 3)); // superseded
+            }
+            let mut got = Vec::new();
+            ex.finish(|m| got.push(m));
+            got.sort_unstable();
+            got
+        });
+        for (rank, got) in out.iter().enumerate() {
+            // One plain + one keyed survivor from each of the 3 senders.
+            assert_eq!(got.len(), 6, "rank {rank}: {got:?}");
+            assert!(got.iter().all(|&(_, tag)| tag == 1 || tag == 3));
+        }
+        assert_eq!(stats.dedup_hits, 9);
+    }
+
+    #[test]
+    fn keyed_flush_order_is_independent_of_send_order() {
+        // Two runs feeding the same (key, payload) set in opposite orders
+        // must put identical packets on the wire: the keyed buffer sorts
+        // by key at flush, so arrival at the receiver is order-identical.
+        let run_order = |rev: bool| {
+            run_with_config::<u64, _, _>(RuntimeConfig::new(2), move |ctx| {
+                let rank = ctx.rank();
+                let mut ex = ctx.exchange();
+                if rank == 0 {
+                    let keys: Vec<u64> = if rev {
+                        (0..16).rev().collect()
+                    } else {
+                        (0..16).collect()
+                    };
+                    for k in keys {
+                        ex.send_keyed(1, k, k * 10);
+                    }
+                }
+                let mut got = Vec::new();
+                ex.finish(|m| got.push(m));
+                got
+            })
+            .0
+        };
+        assert_eq!(run_order(false), run_order(true));
+    }
+
+    #[test]
+    fn unused_keyed_path_changes_nothing() {
+        // A phase that never calls send_keyed must behave exactly as
+        // before the keyed layer existed: no dedup accounting.
+        let (out, stats) = run_with_config::<u64, _, _>(RuntimeConfig::new(2), |ctx| {
+            let dest = 1 - ctx.rank();
+            let mut ex = ctx.exchange();
+            ex.send(dest, 5);
+            let mut n = 0u64;
+            ex.finish(|_| n += 1);
+            n
+        });
+        assert_eq!(out, vec![1, 1]);
+        assert_eq!(stats.dedup_hits, 0);
     }
 
     #[test]

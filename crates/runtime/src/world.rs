@@ -112,6 +112,11 @@ pub struct CommStats {
     pub messages: u64,
     /// Total packets (coalesced message batches) sent.
     pub packets: u64,
+    /// Keyed sends absorbed by same-key deduplication
+    /// ([`Exchange::send_keyed`](crate::Exchange::send_keyed)): messages
+    /// that never reached the wire because a later update to the same
+    /// `(destination, key)` superseded them within the phase.
+    pub dedup_hits: u64,
 }
 
 /// Shared world state (one per `run`).
@@ -137,6 +142,7 @@ pub(crate) struct World<M: Send> {
     pub(crate) perturb_seed: Option<u64>,
     pub(crate) msg_counter: AtomicU64,
     pub(crate) packet_counter: AtomicU64,
+    pub(crate) dedup_counter: AtomicU64,
     /// BSP simulated clock (see [`crate::sim`]).
     pub(crate) sim: Mutex<SimState>,
     pub(crate) sync_latency_units: f64,
@@ -159,6 +165,8 @@ pub struct RankCtx<'w, M: Send> {
     pub(crate) syncs: Cell<u64>,
     /// Payload bytes this rank has pushed into remote packets.
     pub(crate) bytes_sent: Cell<u64>,
+    /// Keyed sends absorbed by same-key dedup on this rank (all phases).
+    pub(crate) dedup_hits: Cell<u64>,
 }
 
 impl<'w, M: Send> RankCtx<'w, M> {
@@ -195,6 +203,15 @@ impl<'w, M: Send> RankCtx<'w, M> {
     #[must_use]
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent.get()
+    }
+
+    /// Keyed sends ([`Exchange::send_keyed`](crate::Exchange::send_keyed))
+    /// this rank has absorbed through same-key deduplication so far. A
+    /// rank-local program-order quantity: it depends only on the multiset
+    /// of keys this rank fed into each phase, never on delivery order.
+    #[must_use]
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits.get()
     }
 
     /// Blocks until every rank reaches the barrier.
@@ -297,6 +314,7 @@ where
         perturb_seed: cfg.perturb_seed,
         msg_counter: AtomicU64::new(0),
         packet_counter: AtomicU64::new(0),
+        dedup_counter: AtomicU64::new(0),
         sim: Mutex::new(SimState {
             clock: 0.0,
             pending: vec![0.0; p],
@@ -321,6 +339,7 @@ where
                         exchange_seq: Cell::new(0),
                         syncs: Cell::new(0),
                         bytes_sent: Cell::new(0),
+                        dedup_hits: Cell::new(0),
                     };
                     let out = f(&mut ctx);
                     if world.check_protocol {
@@ -333,6 +352,9 @@ where
                     world
                         .msg_counter
                         .fetch_add(ctx.sent_messages, Ordering::Relaxed);
+                    world
+                        .dedup_counter
+                        .fetch_add(ctx.dedup_hits.get(), Ordering::Relaxed);
                     out
                 })
             })
@@ -350,6 +372,7 @@ where
     let stats = CommStats {
         messages: world.msg_counter.load(Ordering::Relaxed),
         packets: world.packet_counter.load(Ordering::Relaxed),
+        dedup_hits: world.dedup_counter.load(Ordering::Relaxed),
     };
     (results, stats)
 }

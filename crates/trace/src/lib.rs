@@ -151,6 +151,15 @@ pub enum Event {
         clock: f64,
     },
     /// A named counter sampled at a deterministic program point.
+    ///
+    /// Names in use (all rank-local program-order quantities, so every
+    /// one is invariant under schedule perturbation):
+    /// `runtime.syncs`, `runtime.bytes_sent`, `runtime.messages_sent`,
+    /// `runtime.dedup_hits` (keyed sends absorbed by last-writer
+    /// coalescing), `exchange.dedup_hits` (the per-phase slice of the
+    /// same), `delta.state_propagation_messages` (wire volume of the
+    /// delta protocol), and `delta.cache_invalidations` (remote-state
+    /// caches retired by graph reconstruction).
     Count {
         /// Stable counter name.
         name: &'static str,

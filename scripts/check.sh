@@ -1,9 +1,22 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, clippy, the louvain-lint pass, and tests.
+# Local gate: formatting, clippy, the louvain-lint pass, and tests.
 # Mirrors `cargo run -p xtask -- check`; kept as a shell script so it can
 # run without a prior build of xtask deciding the tool order.
+#
+#   scripts/check.sh          full gate: PR subset + 8-rank race harness
+#                             + full perturb-seed sweep + bench drift
+#                             (what CI runs nightly)
+#   scripts/check.sh --quick  PR-gate subset only (what CI runs per PR)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    *) echo "usage: $0 [--quick]" >&2; exit 2 ;;
+  esac
+done
 
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
@@ -25,8 +38,22 @@ cargo test --workspace --doc -q
 
 # Schedule-perturbation race harness: the parallel solver must produce
 # bit-identical output under permuted message-delivery orders (2 and 4
-# ranks in the gate; set LOUVAIN_RACE_EIGHT_RANKS=1 to add 8 ranks).
+# ranks in the PR gate; the full gate adds 8 ranks).
 echo "==> schedule-perturbation harness (2/4 ranks)"
 cargo test -q -p louvain-runtime --test schedule_perturbation
+
+if [ "$quick" -eq 1 ]; then
+  echo "==> quick gate passed (full gate adds 8-rank harness + bench drift)"
+  exit 0
+fi
+
+echo "==> schedule-perturbation harness (8 ranks, full seed sweep)"
+LOUVAIN_RACE_EIGHT_RANKS=1 cargo test -q -p louvain-runtime --test schedule_perturbation
+
+# Bench drift: the committed snapshot must match a fresh regeneration
+# byte for byte, so perf/comm-volume changes are always deliberate.
+echo "==> bench drift (BENCH_louvain.json)"
+cargo run -q --release -p louvain-bench -- bench-snapshot --quick
+git diff --exit-code BENCH_louvain.json
 
 echo "==> all checks passed"
