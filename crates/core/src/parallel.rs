@@ -25,10 +25,14 @@
 //! inner iteration thereafter broadcasts only `(vertex, new_community)`
 //! pairs for vertices that actually migrated. Receivers patch the
 //! persistent Out-Table through a per-level [`RemoteCache`] instead of
-//! rebuilding it; the cache is invalidated (rebuilt) at every GRAPH
-//! RECONSTRUCTION. An iteration in which no vertex migrates anywhere
-//! exchanges zero state-propagation messages — the inner loop then
-//! terminates through the modularity collective that follows.
+//! rebuilding it: deltas are applied in sorted vertex order (never in
+//! delivery order), and row liveness is tracked structurally via
+//! per-row contributor counts — a vacated row is overwritten with exact
+//! 0.0 instead of trusting FP cancellation. The cache is invalidated
+//! (rebuilt) at every GRAPH RECONSTRUCTION. An iteration in which no
+//! vertex migrates anywhere exchanges zero state-propagation messages —
+//! the inner loop then terminates through the modularity collective
+//! that follows.
 //!
 //! GRAPH RECONSTRUCTION (Algorithm 5) compacts surviving community ids,
 //! then turns the Out-Table into the next level's In-Table with a single
@@ -36,10 +40,16 @@
 //! to the owner of `c_new` — "transforming the graph relabeling problem
 //! into an all-to-all communication with hashing".
 //!
-//! Determinism note: packet arrival order varies between runs, but all
-//! floating-point accumulations commute exactly for integer-valued weights
-//! (every generator in this repo emits weight 1), and reductions fold in
-//! rank order — so runs are reproducible on the benchmark workloads.
+//! Determinism note: packet arrival order varies between runs. The
+//! persistent Out-Table is schedule-invariant for *arbitrary* weights
+//! (delta batches are sorted before application, and liveness is
+//! structural); the remaining per-phase accumulations (In-Table loading,
+//! `Σ_tot` updates, `Σ_in` shipping) are folded in delivery order and
+//! commute exactly only for exactly-representable sums — integer-valued
+//! weights, which every generator in this repo emits — while reductions
+//! fold in rank order. So runs are bit-reproducible on the benchmark
+//! workloads, and correct (same live rows, rounding-level noise only)
+//! for general weights.
 
 use crate::dq;
 use crate::heuristic::EpsilonSchedule;
@@ -295,6 +305,15 @@ struct RemoteCache {
     out_offsets: Vec<usize>,
     /// Sorted neighbor sources of each local vertex (the transpose view).
     out_srcs: Vec<u32>,
+    /// Live-contributor count per Out-Table row: `counts[(d, c)]` is the
+    /// number of In-Table sources adjacent to `d` whose cached label is
+    /// `c` (exact small-integer f64s). Row liveness is this count, not
+    /// the row's accumulated weight: FP cancellation of patches need not
+    /// return a vacated row to exactly 0.0 (e.g. `(1e16 + 1.0) - 1e16 -
+    /// 1.0 == -1.0`), so when a count hits zero [`Self::apply_deltas`]
+    /// overwrites the residue with exact 0.0 to keep the consumers'
+    /// `w != 0.0` sentinel sound for arbitrary weights.
+    counts: EdgeTable,
 }
 
 impl RemoteCache {
@@ -343,6 +362,12 @@ impl RemoteCache {
         for li in 0..local_n {
             out_srcs[out_offsets[li]..out_offsets[li + 1]].sort_unstable();
         }
+        // At the identity labelling every Out-Table row (d, s) has
+        // exactly one contributor: the In-Table entry (s, d).
+        let mut counts = EdgeTable::new(triples.len().max(8));
+        for &(s, d, _) in &triples {
+            counts.accumulate(pack_key(d, s), 1.0);
+        }
         Self {
             srcs,
             labels,
@@ -350,6 +375,56 @@ impl RemoteCache {
             pairs,
             out_offsets,
             out_srcs,
+            counts,
+        }
+    }
+
+    /// Applies a batch of received `(vertex, new_community)` deltas to
+    /// the persistent Out-Table.
+    ///
+    /// Deltas are sorted by vertex id before application, so the patched
+    /// table is a function of the *set* of migrations — independent of
+    /// message delivery order, which the perturbation harness scrambles.
+    /// (Each vertex migrates at most once per sweep and only its owner
+    /// announces it, so vertex id is a total order over the batch.)
+    ///
+    /// Liveness is tracked structurally through [`Self::counts`]: moving
+    /// a contributor decrements the old row's count and increments the
+    /// new one's, and a row whose count reaches zero has its weight
+    /// overwritten with exact 0.0 rather than trusting `+w`/`-w` FP
+    /// cancellation — see the field docs and DESIGN.md §10.
+    fn apply_deltas(&mut self, out_table: &mut EdgeTable, deltas: &mut [(u32, u32)]) {
+        deltas.sort_unstable();
+        for &(u, c_new) in deltas.iter() {
+            // Only owners of neighbors of `u` receive its delta, so the
+            // lookup always hits; guard anyway rather than unwrap (P1).
+            let Ok(idx) = self.srcs.binary_search(&u) else {
+                continue;
+            };
+            let c_old = self.labels[idx];
+            if c_old == c_new {
+                continue;
+            }
+            self.labels[idx] = c_new;
+            for &(d, w) in &self.pairs[self.offsets[idx]..self.offsets[idx + 1]] {
+                let old_key = pack_key(d, c_old);
+                let new_key = pack_key(d, c_new);
+                self.counts.accumulate(old_key, -1.0);
+                let remaining = self.counts.get(old_key).unwrap_or(0.0);
+                debug_assert!(remaining >= 0.0, "contributor count went negative");
+                #[allow(clippy::float_cmp)]
+                // lint: allow(F1) — contributor counts are exact small-integer-valued f64s
+                if remaining == 0.0 {
+                    // Last contributor left: kill the residue exactly
+                    // (x + (-x) == +0.0 for every finite x).
+                    let residue = out_table.get(old_key).unwrap_or(0.0);
+                    out_table.accumulate(old_key, -residue);
+                } else {
+                    out_table.accumulate(old_key, -w);
+                }
+                self.counts.accumulate(new_key, 1.0);
+                out_table.accumulate(new_key, w);
+            }
         }
     }
 }
@@ -840,10 +915,10 @@ fn build_out_table_local(lvl: &RankLevel, out_table: &mut EdgeTable) {
 /// rebuilding the Out-Table from scratch, each rank announces only the
 /// vertices that migrated this sweep as `(vertex, new_community)` deltas
 /// — keyed sends, so a vertex with many neighbors on one rank costs one
-/// message — and receivers patch the Out-Table through the
-/// [`RemoteCache`]: every affected row moves its weight from the cached
-/// old community to the new one. A community a vertex fully left keeps
-/// an exact-0.0 residue row; consumers skip those (DESIGN.md §10).
+/// message. Received deltas are buffered and applied in sorted vertex
+/// order by [`RemoteCache::apply_deltas`], which moves each affected
+/// row's weight from the cached old community to the new one and
+/// structurally zeroes rows whose last contributor left (DESIGN.md §10).
 fn propagate_deltas(
     ctx: &mut RankCtx<'_, Msg>,
     lvl: &RankLevel,
@@ -852,20 +927,10 @@ fn propagate_deltas(
     migrated: &[(u32, u32)],
 ) {
     let part = lvl.part;
-    // Split borrows: the send loop reads the transpose view while the
-    // receive closure patches the label cache.
-    let RemoteCache {
-        srcs,
-        labels,
-        offsets,
-        pairs,
-        out_offsets,
-        out_srcs,
-    } = cache;
     let mut ex = ctx.exchange();
     for &(u, c_new) in migrated {
         let li = part.local_index(u);
-        for &s in &out_srcs[out_offsets[li]..out_offsets[li + 1]] {
+        for &s in &cache.out_srcs[cache.out_offsets[li]..cache.out_offsets[li + 1]] {
             ex.send_keyed(
                 part.owner(s),
                 u64::from(u),
@@ -877,20 +942,11 @@ fn propagate_deltas(
             );
         }
     }
-    ex.finish(|m| {
-        // Only owners of neighbors of `m.a` receive this delta, so the
-        // lookup always hits; guard anyway rather than unwrap (P1).
-        if let Ok(idx) = srcs.binary_search(&m.a) {
-            let c_old = labels[idx];
-            if c_old != m.b {
-                labels[idx] = m.b;
-                for &(d, w) in &pairs[offsets[idx]..offsets[idx + 1]] {
-                    out_table.accumulate(pack_key(d, c_old), -w);
-                    out_table.accumulate(pack_key(d, m.b), w);
-                }
-            }
-        }
-    });
+    // Buffer first, patch after: the patched table must be a function of
+    // the delta *set*, not of the (perturbable) delivery order.
+    let mut deltas: Vec<(u32, u32)> = Vec::new();
+    ex.finish(|m| deltas.push((m.a, m.b)));
+    cache.apply_deltas(out_table, &mut deltas);
 }
 
 /// Gathers a replicated snapshot (global community id → value) from each
@@ -981,12 +1037,14 @@ fn refine(
             remove_cache[li] = dq::remove_gain(w_own, lvl.k[li], tot_snap[c_u as usize], s);
         }
         for (key, w) in out_table.iter() {
-            // Delta patches leave exact-0.0 residue rows for communities
-            // a vertex fully left; skipping them makes the patched table
-            // behave exactly like a freshly rebuilt one (a residue row
-            // must never look like a real candidate community).
+            // Rows whose last contributor left are *structurally* zeroed
+            // by the delta patcher (`RemoteCache::apply_deltas` tracks a
+            // per-row contributor count and overwrites the residue with
+            // exact 0.0), so this sentinel is sound for arbitrary f64
+            // weights — a dead row must never look like a real candidate
+            // community.
             #[allow(clippy::float_cmp)]
-            // lint: allow(F1) — residue rows are exactly 0.0: patches subtract the same weights they added
+            // lint: allow(F1) — dead rows are structurally set to exact 0.0 by the delta patcher
             if w == 0.0 {
                 continue;
             }
@@ -1240,10 +1298,10 @@ fn compute_modularity(
         let mut ex = ctx.exchange();
         for (key, w) in out_table.iter() {
             let (u, c) = unpack_key(key);
-            // Residue rows (see the find-best scan) carry no weight and
+            // Dead rows (see the find-best scan) carry no weight and
             // must not be shipped.
             #[allow(clippy::float_cmp)]
-            // lint: allow(F1) — residue rows are exactly 0.0: patches subtract the same weights they added
+            // lint: allow(F1) — dead rows are structurally set to exact 0.0 by the delta patcher
             let live = w != 0.0;
             if live && label[part.local_index(u)] == c {
                 ex.send(part.owner(c), Msg { a: c, b: 0, w });
@@ -1348,11 +1406,14 @@ fn reconstruct(
         let label = &lvl.label;
         let mut ex = ctx.exchange();
         for (key, w) in out_table.iter() {
-            // Residue rows may name communities that emptied out and got
-            // no dense id — `map[&c_old]` would panic on them, and they
-            // carry no weight anyway.
+            // Dead rows may name communities that emptied out and got no
+            // dense id — `map[&c_old]` would panic on them, and they
+            // carry no weight anyway. Liveness is structural (contributor
+            // counts), so the sentinel holds for arbitrary f64 weights:
+            // a live row's community has at least one member and always
+            // gets a dense id.
             #[allow(clippy::float_cmp)]
-            // lint: allow(F1) — residue rows are exactly 0.0: patches subtract the same weights they added
+            // lint: allow(F1) — dead rows are structurally set to exact 0.0 by the delta patcher
             let live = w != 0.0;
             if live {
                 let (u, c_old) = unpack_key(key);
@@ -1520,14 +1581,22 @@ mod tests {
         let cb = r.comm_breakdown;
         // Every remote message belongs to exactly one phase.
         assert_eq!(cb.total(), r.comm.messages);
-        // Delta mode: the level-start Out-Table build is local and the
-        // steady state ships only migrations, so state propagation no
-        // longer dominates — but migrations did happen, so it is not
-        // silent either, and its keyed sends are where dedup lives.
+        // Delta mode: migrations did happen, so state propagation is not
+        // silent, and its keyed sends are where dedup lives.
         assert!(cb.state_propagation > 0);
-        assert!(cb.state_propagation < cb.modularity);
         assert!(r.comm.dedup_hits > 0);
         assert!(r.cache_invalidations > 0);
+        // Strictly below the v1 rebuild volume of one message per arc
+        // per inner iteration (robust to phase tuning, unlike comparing
+        // against another phase's incidental message count).
+        let arcs = 2 * el.num_edges() as u64;
+        let inner: u64 = r
+            .result
+            .levels
+            .iter()
+            .map(|l| l.inner_iterations as u64)
+            .sum();
+        assert!(cb.state_propagation < arcs * inner);
         // Replicated loading sends nothing.
         assert_eq!(cb.loading, 0);
         // Distributed loading does.
@@ -1619,6 +1688,172 @@ mod tests {
         assert!(r.input_edges <= cfg.num_edges_raw());
         assert!(r.input_edges > cfg.num_edges_raw() / 2);
         assert!(r.teps() > 0.0);
+    }
+
+    /// Builds a single-rank [`RankLevel`] over `edges` for white-box
+    /// tests of the delta patcher.
+    fn single_rank_level(n: usize, edges: &[(u32, u32, f64)]) -> RankLevel {
+        let part = ModuloPartition::new(n, 1);
+        let mut in_table = EdgeTable::new(edges.len() * 2 + 8);
+        for &(u, v, w) in edges {
+            in_table.accumulate(pack_key(u, v), w);
+            in_table.accumulate(pack_key(v, u), w);
+        }
+        let mut k = vec![0.0f64; n];
+        for (key, w) in in_table.iter() {
+            let (_, d) = unpack_key(key);
+            k[d as usize] += w;
+        }
+        RankLevel {
+            n,
+            part,
+            in_table,
+            k: k.clone(),
+            label: (0..n as u32).collect(),
+            tot: k,
+            internal: vec![0.0; n],
+            size: vec![1; n],
+        }
+    }
+
+    /// Reference Out-Table: a from-scratch rebuild of `lvl`'s In-Table
+    /// under the cache's current labels.
+    fn rebuild_reference(lvl: &RankLevel, cache: &RemoteCache) -> EdgeTable {
+        let mut t = EdgeTable::new(lvl.in_table.len().max(8));
+        for (key, w) in lvl.in_table.iter() {
+            let (s, d) = unpack_key(key);
+            let idx = cache.srcs.binary_search(&s).expect("source in cache");
+            t.accumulate(pack_key(d, cache.labels[idx]), w);
+        }
+        t
+    }
+
+    #[test]
+    fn vacated_rows_are_structurally_zeroed_despite_fp_cancellation() {
+        // The review's scenario: a row accumulates weights of wildly
+        // different magnitude (1e16 absorbs 1.0 — the sum rounds back to
+        // 1e16), so when every contributor leaves, +w/-w cancellation
+        // does NOT return to 0.0 arithmetically ((1e16 + 1.0) - 1e16 -
+        // 1.0 == -1.0). Liveness must therefore be structural, or the
+        // phantom residue row panics reconstruction and pollutes the
+        // find-best scan.
+        let lvl = single_rank_level(5, &[(0, 1, 1e16), (0, 2, 1.0), (0, 3, 0.3)]);
+        let mut cache = RemoteCache::build(&lvl, 0);
+        let mut out_table = EdgeTable::new(8);
+        build_out_table_local(&lvl, &mut out_table);
+
+        // Vertices 1 and 2 both join community 4, then both leave to 3.
+        cache.apply_deltas(&mut out_table, &mut [(1, 4), (2, 4)]);
+        cache.apply_deltas(&mut out_table, &mut [(1, 3), (2, 3)]);
+
+        // The fully vacated row is exactly 0.0 (the naive cancellation
+        // would have left -1.0), so every `w != 0.0` consumer skips it.
+        assert_eq!(out_table.get(pack_key(0, 4)), Some(0.0));
+        // Live rows agree with a from-scratch rebuild under the current
+        // labels: same row set, values equal up to accumulation-order
+        // rounding.
+        let reference = rebuild_reference(&lvl, &cache);
+        #[allow(clippy::float_cmp)]
+        for (key, w) in out_table.iter() {
+            let rebuilt = reference.get(key);
+            // lint: allow(F1) — dead rows are structurally set to exact 0.0 by the delta patcher
+            if w == 0.0 {
+                assert_eq!(rebuilt, None, "dead row {key:#x} present in rebuild");
+            } else {
+                let r = rebuilt.expect("live row missing from rebuild");
+                assert!(
+                    (w - r).abs() <= 1e-9 * (1.0 + r.abs()),
+                    "row {key:#x}: patched {w} vs rebuilt {r}"
+                );
+            }
+        }
+        #[allow(clippy::float_cmp)]
+        for (key, _) in reference.iter() {
+            // lint: allow(F1) — dead rows are structurally set to exact 0.0 by the delta patcher
+            let live = out_table.get(key).unwrap_or(0.0) != 0.0;
+            assert!(live, "rebuilt row {key:#x} is dead in the patched table");
+        }
+        // A later re-join of the killed row starts from the exact 0.0,
+        // not from the residue.
+        cache.apply_deltas(&mut out_table, &mut [(1, 4)]);
+        assert_eq!(out_table.get(pack_key(0, 4)), Some(1e16));
+    }
+
+    #[test]
+    fn delta_application_is_independent_of_delivery_order() {
+        // `drain_perturbed` deliberately scrambles delivery order, and
+        // the patched Out-Table persists across inner iterations — so
+        // `apply_deltas` sorts each batch before applying it. Feeding
+        // the same batches in opposite arrival orders must produce
+        // bit-identical tables even for non-commuting f64 weights.
+        let edges = [
+            (0u32, 1u32, 1e16),
+            (0, 2, 1.0),
+            (0, 3, 0.3),
+            (4, 1, 0.1),
+            (4, 2, 2.5e7),
+        ];
+        let batches: [&[(u32, u32)]; 3] = [
+            &[(1, 4), (2, 4), (3, 4)],
+            &[(1, 3), (2, 3)],
+            &[(2, 0), (3, 0), (1, 0)],
+        ];
+        let run = |reverse: bool| -> Vec<(u64, u64)> {
+            let lvl = single_rank_level(5, &edges);
+            let mut cache = RemoteCache::build(&lvl, 0);
+            let mut out_table = EdgeTable::new(8);
+            build_out_table_local(&lvl, &mut out_table);
+            for batch in batches {
+                let mut b = batch.to_vec();
+                if reverse {
+                    b.reverse();
+                }
+                cache.apply_deltas(&mut out_table, &mut b);
+            }
+            let mut rows: Vec<(u64, u64)> =
+                out_table.iter().map(|(k, w)| (k, w.to_bits())).collect();
+            rows.sort_unstable();
+            rows
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn mixed_magnitude_weights_survive_delta_patching() {
+        // End-to-end: non-integer, mixed-magnitude weights whose sums
+        // are not exactly representable, run under the perturbation
+        // harness. Pre-structural-liveness this could panic in
+        // reconstruction (`map[&c_old]` on a phantom residue row); now
+        // the run must complete with a self-consistent modularity at
+        // every rank count and perturb seed.
+        let (el0, _) = planted_graph(23);
+        let mut b = EdgeListBuilder::new(el0.num_vertices());
+        for (i, e) in el0.edges().iter().enumerate() {
+            let w = match i % 3 {
+                0 => 1e8,
+                1 => 0.1,
+                _ => 0.3,
+            };
+            b.add_edge(e.u, e.v, w);
+        }
+        let el = b.build();
+        let g = el.to_csr();
+        for ranks in [2, 4] {
+            for seed in [None, Some(1), Some(7)] {
+                let r = ParallelLouvain::new(ParallelConfig {
+                    perturb_seed: seed,
+                    ..ParallelConfig::with_ranks(ranks)
+                })
+                .run(&el);
+                assert!(r.result.final_partition.is_valid());
+                let q = modularity(&g, &r.result.final_partition);
+                assert!(
+                    (q - r.result.final_modularity).abs() <= 1e-9 * (1.0 + q.abs()),
+                    "ranks={ranks} seed={seed:?}: reported {} vs recomputed {q}",
+                    r.result.final_modularity
+                );
+            }
+        }
     }
 
     #[test]
