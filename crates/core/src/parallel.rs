@@ -61,7 +61,7 @@ use louvain_graph::edgelist::EdgeList;
 use louvain_graph::partition1d::ModuloPartition;
 use louvain_hash::{pack_key, unpack_key, EdgeTable};
 use louvain_metrics::Partition;
-use louvain_runtime::{run_with_config, CommStats, RankCtx, RuntimeConfig};
+use louvain_runtime::{run_with_config_logged, CollectiveKind, CommStats, RankCtx, RuntimeConfig};
 use louvain_trace::{Event, RankTrace};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -117,6 +117,11 @@ pub struct ParallelConfig {
     /// adversarially permutes message delivery order in every exchange
     /// phase. The solver must produce bit-identical output regardless.
     pub perturb_seed: Option<u64>,
+    /// When `true`, every rank records the sequence of collectives it
+    /// enters; the observed sequences come back in
+    /// [`ParallelResult::protocol_logs`] and must be accepted by the
+    /// static protocol spec (DESIGN.md §11).
+    pub record_protocol: bool,
 }
 
 impl Default for ParallelConfig {
@@ -135,6 +140,7 @@ impl Default for ParallelConfig {
             sync_latency_units: 5000.0,
             charge_per_message: 1.0,
             perturb_seed: None,
+            record_protocol: false,
         }
     }
 }
@@ -198,6 +204,12 @@ pub struct ParallelResult {
     /// across ranks (the level-0 build is a construction, not an
     /// invalidation). See DESIGN.md §10.
     pub cache_invalidations: u64,
+    /// Per-rank observed collective sequences, in rank order. Empty
+    /// unless [`ParallelConfig::record_protocol`] was set. All ranks
+    /// record the identical sequence (the runtime's shadow checker
+    /// enforces lockstep), and the sequence must be accepted by the
+    /// static protocol spec of DESIGN.md §11.
+    pub protocol_logs: Vec<Vec<CollectiveKind>>,
 }
 
 impl ParallelResult {
@@ -507,12 +519,13 @@ impl ParallelLouvain {
         let cfg = self.cfg;
         let t0 = Stopwatch::start();
         let input = &input;
-        let (mut rank_outputs, comm) = run_with_config::<Msg, RankOutput, _>(
+        let (mut rank_outputs, comm, protocol_logs) = run_with_config_logged::<Msg, RankOutput, _>(
             RuntimeConfig {
                 coalesce_capacity: cfg.coalesce_capacity,
                 sync_latency_units: cfg.sync_latency_units,
                 charge_per_message: cfg.charge_per_message,
                 perturb_seed: cfg.perturb_seed,
+                record_protocol: cfg.record_protocol,
                 ..RuntimeConfig::new(cfg.ranks)
             },
             |ctx| rank_main(ctx, input, &cfg),
@@ -597,6 +610,7 @@ impl ParallelLouvain {
             bytes_sent,
             cache_invalidations,
             traces,
+            protocol_logs,
         }
     }
 }

@@ -40,4 +40,6 @@ pub mod sim;
 pub mod world;
 
 pub use exchange::Exchange;
-pub use world::{run, run_with_config, CollectiveKind, CommStats, RankCtx, RuntimeConfig};
+pub use world::{
+    run, run_with_config, run_with_config_logged, CollectiveKind, CommStats, RankCtx, RuntimeConfig,
+};

@@ -3,7 +3,7 @@
 use crate::sim::SimState;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::panic::Location;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
@@ -35,6 +35,13 @@ pub struct RuntimeConfig {
     /// protocol-correct algorithm must produce bit-identical results for
     /// every seed.
     pub perturb_seed: Option<u64>,
+    /// Records the sequence of [`CollectiveKind`]s each rank enters (in
+    /// program order, including the implicit final `Shutdown`), returned
+    /// by [`run_with_config_logged`]. The conformance tests replay these
+    /// observed sequences against the static protocol spec extracted by
+    /// `xtask protocol`. Off by default: recording appends to a per-rank
+    /// log on every collective.
+    pub record_protocol: bool,
 }
 
 impl RuntimeConfig {
@@ -50,6 +57,7 @@ impl RuntimeConfig {
             charge_per_message: 1.0,
             check_protocol: cfg!(debug_assertions),
             perturb_seed: None,
+            record_protocol: false,
         }
     }
 }
@@ -139,6 +147,10 @@ pub(crate) struct World<M: Send> {
     /// Protocol shadow state (see [`ShadowState`]).
     pub(crate) shadow: Mutex<ShadowState>,
     pub(crate) check_protocol: bool,
+    pub(crate) record_protocol: bool,
+    /// Per-rank observed collective sequences, flushed by each rank
+    /// thread on exit when [`RuntimeConfig::record_protocol`] is set.
+    pub(crate) protocol_logs: Mutex<Vec<Vec<CollectiveKind>>>,
     pub(crate) perturb_seed: Option<u64>,
     pub(crate) msg_counter: AtomicU64,
     pub(crate) packet_counter: AtomicU64,
@@ -167,6 +179,9 @@ pub struct RankCtx<'w, M: Send> {
     pub(crate) bytes_sent: Cell<u64>,
     /// Keyed sends absorbed by same-key dedup on this rank (all phases).
     pub(crate) dedup_hits: Cell<u64>,
+    /// Observed collective sequence (program order), populated only when
+    /// [`RuntimeConfig::record_protocol`] is set.
+    pub(crate) protocol_log: RefCell<Vec<CollectiveKind>>,
 }
 
 impl<'w, M: Send> RankCtx<'w, M> {
@@ -237,6 +252,9 @@ impl<'w, M: Send> RankCtx<'w, M> {
     /// trailing wait keeps a fast rank from re-posting its slot for the
     /// next collective before slow ranks have inspected this one.
     pub(crate) fn enter_collective(&self, kind: CollectiveKind, loc: &'static Location<'static>) {
+        if self.world.record_protocol {
+            self.protocol_log.borrow_mut().push(kind);
+        }
         if !self.world.check_protocol {
             self.wait_raw();
             return;
@@ -285,6 +303,22 @@ where
     R: Send,
     F: Fn(&mut RankCtx<'_, M>) -> R + Sync,
 {
+    let (results, stats, _) = run_with_config_logged(cfg, f);
+    (results, stats)
+}
+
+/// [`run_with_config`] that additionally returns the per-rank observed
+/// collective sequences (empty vectors unless
+/// [`RuntimeConfig::record_protocol`] is set).
+pub fn run_with_config_logged<M, R, F>(
+    cfg: RuntimeConfig,
+    f: F,
+) -> (Vec<R>, CommStats, Vec<Vec<CollectiveKind>>)
+where
+    M: Send,
+    R: Send,
+    F: Fn(&mut RankCtx<'_, M>) -> R + Sync,
+{
     assert!(cfg.ranks >= 1, "at least one rank required");
     assert!(cfg.coalesce_capacity >= 1, "coalesce capacity must be >= 1");
     let p = cfg.ranks;
@@ -311,6 +345,8 @@ where
             loc: vec![None; p],
         }),
         check_protocol: cfg.check_protocol,
+        record_protocol: cfg.record_protocol,
+        protocol_logs: Mutex::new(vec![Vec::new(); p]),
         perturb_seed: cfg.perturb_seed,
         msg_counter: AtomicU64::new(0),
         packet_counter: AtomicU64::new(0),
@@ -340,13 +376,15 @@ where
                         syncs: Cell::new(0),
                         bytes_sent: Cell::new(0),
                         dedup_hits: Cell::new(0),
+                        protocol_log: RefCell::new(Vec::new()),
                     };
                     let out = f(&mut ctx);
-                    if world.check_protocol {
+                    if world.check_protocol || world.record_protocol {
                         // A rank that returned while a peer is still in a
                         // collective would leave that peer blocked on the
                         // barrier forever; entering Shutdown here turns
-                        // the drift into a protocol-mismatch diagnostic.
+                        // the drift into a protocol-mismatch diagnostic
+                        // (and stamps the recorded sequences' terminator).
                         ctx.enter_collective(CollectiveKind::Shutdown, Location::caller());
                     }
                     world
@@ -355,6 +393,9 @@ where
                     world
                         .dedup_counter
                         .fetch_add(ctx.dedup_hits.get(), Ordering::Relaxed);
+                    if world.record_protocol {
+                        world.protocol_logs.lock()[rank] = ctx.protocol_log.take();
+                    }
                     out
                 })
             })
@@ -374,7 +415,8 @@ where
         packets: world.packet_counter.load(Ordering::Relaxed),
         dedup_hits: world.dedup_counter.load(Ordering::Relaxed),
     };
-    (results, stats)
+    let logs = std::mem::take(&mut *world.protocol_logs.lock());
+    (results, stats, logs)
 }
 
 /// [`run_with_config`] with the default coalescing capacity.

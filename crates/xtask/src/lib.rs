@@ -17,6 +17,8 @@
 //! | `R1` | every `ctx.exchange()` phase reaches exactly one `.finish(..)` on all control-flow paths — no `return`, `?`, or loop-escaping `break`/`continue` can leak an open phase |
 //! | `R2` | no collective (`barrier`, `allreduce_*`, `allgather_*`, `exchange`, …) inside a conditional that branches on rank-local data (`rank` in the condition): all ranks must enter every collective |
 //! | `R3` | no raw `Ordering::{Relaxed,Acquire,Release,AcqRel,SeqCst}` atomics outside `crates/runtime` — cross-rank communication goes through the runtime API |
+//! | `R4` | the arms of a rank-divergent conditional (condition tainted by rank-local data, tracked through assignments) must have equal protocol effect — no arm-specific collective sequences, no divergent early exits that skip collectives other ranks still run |
+//! | `R5` | no collective inside a loop whose trip count derives from rank-local data — iteration bounds must come from replicated/allreduced values so all ranks run the same number of collective rounds |
 //! | `T1` | no wall-clock reads (`Instant::now`, `SystemTime::now`) on traced solver/runtime paths (`crates/{core,runtime,trace}`) outside the sanctioned `crates/core/src/timing.rs` module — wall time must never reach a deterministic trace or `BENCH_*.json` |
 //! | `SUP` | every suppression comment carries a non-empty reason |
 //!
@@ -31,12 +33,25 @@
 //! `results/lint_baseline.json` can detect format changes, plus a
 //! `bench_snapshot_schema_version` field
 //! ([`BENCH_SNAPSHOT_SCHEMA_VERSION`]) republishing the schema of the
-//! `BENCH_louvain.json` perf snapshot (DESIGN.md §9).
+//! `BENCH_louvain.json` perf snapshot (DESIGN.md §9), and a
+//! `protocol_spec_schema_version` field
+//! ([`PROTOCOL_SPEC_SCHEMA_VERSION`]) for the protocol-spec lockfile.
+//!
+//! Beyond the per-file rules, [`phasegraph`] extracts the workspace's
+//! *collective protocol* interprocedurally — the ordered
+//! sequence/branch/loop structure of collectives reachable from the
+//! solver entry point — and emits it as the committed
+//! `results/protocol_spec.json` lockfile (`xtask protocol`, DESIGN.md
+//! §11). The R4/R5 rules above are the per-file face of that analysis.
 
 #![warn(missing_docs)]
 
 pub mod lint;
+pub mod phasegraph;
 
 pub use lint::{
     lint_source, lint_workspace, Finding, Rule, BENCH_SNAPSHOT_SCHEMA_VERSION, JSON_SCHEMA_VERSION,
+};
+pub use phasegraph::{
+    extract_protocol_spec, Nfa, ProtocolSpec, SpecNode, PROTOCOL_SPEC_SCHEMA_VERSION,
 };

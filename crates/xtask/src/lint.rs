@@ -6,8 +6,11 @@
 //! stripped token stream. The cost is a documented blind spot: `F1`
 //! only sees comparisons with a float *literal* operand (variable ==
 //! variable comparisons of `f64` need type knowledge), and test regions
-//! are recognized by the `#[cfg(test)]` file-tail convention used
-//! throughout this repo.
+//! are recognized as brace-delimited items under a `#[cfg(test)]`
+//! attribute on its own line — anywhere in the file, not just the tail.
+//!
+//! The R4/R5 phase-graph checks live in [`crate::phasegraph`] and are
+//! invoked from here as part of the same pass.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -38,6 +41,17 @@ pub enum Rule {
     /// Atomic memory orderings outside `crates/runtime` (and the
     /// dependency shims) require a justified suppression.
     R3,
+    /// Branch-arm protocol mismatch: the arms of a rank-divergent
+    /// conditional (condition tainted by rank-local data, tracked
+    /// through assignments) have different collective effect — either
+    /// different collective sequences, or a divergent early exit
+    /// (`return`/`break`/`continue`) that skips collectives some ranks
+    /// still execute. Semantic generalization of the syntactic `R2`.
+    R4,
+    /// Collective inside a loop whose trip count derives from
+    /// rank-local data rather than a replicated/allreduced value: ranks
+    /// run different iteration counts and the protocol diverges.
+    R5,
     /// Wall-clock reads (`Instant::now` / `SystemTime::now`) on traced
     /// solver/runtime paths outside the sanctioned `timing.rs` module:
     /// a wall-clock value reaching a trace or `BENCH_*.json` breaks the
@@ -49,7 +63,7 @@ pub enum Rule {
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 11] = [
+    pub const ALL: [Rule; 13] = [
         Rule::D1,
         Rule::F1,
         Rule::F2,
@@ -59,6 +73,8 @@ impl Rule {
         Rule::R1,
         Rule::R2,
         Rule::R3,
+        Rule::R4,
+        Rule::R5,
         Rule::T1,
         Rule::Sup,
     ];
@@ -76,6 +92,8 @@ impl Rule {
             Rule::R1 => "R1",
             Rule::R2 => "R2",
             Rule::R3 => "R3",
+            Rule::R4 => "R4",
+            Rule::R5 => "R5",
             Rule::T1 => "T1",
             Rule::Sup => "SUP",
         }
@@ -148,8 +166,9 @@ fn json_escape(s: &str) -> String {
 /// (not the rule set) changes, so downstream diffing of lint baselines
 /// can detect incompatible layouts; adding rules only adds `counts`
 /// keys. Version 2 introduced the field itself alongside rules R1–R3;
-/// version 3 added `bench_snapshot_schema_version`.
-pub const JSON_SCHEMA_VERSION: u32 = 3;
+/// version 3 added `bench_snapshot_schema_version`; version 4 added the
+/// phase-graph rules R4/R5 and `protocol_spec_schema_version`.
+pub const JSON_SCHEMA_VERSION: u32 = 4;
 
 /// The `schema_version` of `BENCH_louvain.json` emitted by
 /// `louvain-bench bench-snapshot`, republished here so `xtask --json`
@@ -175,9 +194,10 @@ pub fn to_json_report(findings: &[Finding]) -> String {
         .map(|f| format!("    {}", f.to_json()))
         .collect();
     format!(
-        "{{\n  \"schema_version\": {},\n  \"bench_snapshot_schema_version\": {},\n  \"total\": {},\n  \"counts\": {{{}}},\n  \"findings\": [\n{}\n  ]\n}}",
+        "{{\n  \"schema_version\": {},\n  \"bench_snapshot_schema_version\": {},\n  \"protocol_spec_schema_version\": {},\n  \"total\": {},\n  \"counts\": {{{}}},\n  \"findings\": [\n{}\n  ]\n}}",
         JSON_SCHEMA_VERSION,
         BENCH_SNAPSHOT_SCHEMA_VERSION,
+        crate::phasegraph::PROTOCOL_SPEC_SCHEMA_VERSION,
         findings.len(),
         counts_json.join(","),
         list.join(",\n")
@@ -190,11 +210,11 @@ pub fn to_json_report(findings: &[Finding]) -> String {
 
 /// One source line with comments/strings separated from code.
 #[derive(Debug, Default, Clone)]
-struct LineView {
+pub(crate) struct LineView {
     /// Code with comments removed and string contents blanked.
-    code: String,
+    pub(crate) code: String,
     /// Concatenated comment text on this line.
-    comment: String,
+    pub(crate) comment: String,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -210,7 +230,7 @@ enum ScanState {
 ///
 /// Handles nested block comments, escaped quotes, raw strings with up
 /// to arbitrary `#` counts, char literals, and lifetimes.
-fn scan_lines(src: &str) -> Vec<LineView> {
+pub(crate) fn scan_lines(src: &str) -> Vec<LineView> {
     let bytes: Vec<char> = src.chars().collect();
     let mut lines = Vec::new();
     let mut cur = LineView::default();
@@ -483,7 +503,7 @@ impl Suppressions {
 // Token helpers.
 // ---------------------------------------------------------------------------
 
-fn is_ident_char(c: char) -> bool {
+pub(crate) fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
@@ -579,15 +599,69 @@ fn code_stream(lines: &[LineView], end: usize) -> Vec<(char, usize)> {
     out
 }
 
+/// Per-line mask: `true` when the line belongs to a `#[cfg(test)]`
+/// region — the attribute line through the end of the item it gates
+/// (matching close brace, or `;` for a braceless item). Recognizes such
+/// regions anywhere in the file, not just the file-tail convention.
+pub(crate) fn test_region_mask(lines: &[LineView]) -> Vec<bool> {
+    let stream = code_stream(lines, lines.len());
+    let mut mask = vec![false; lines.len()];
+    for idx in 0..lines.len() {
+        if lines[idx].code.trim() != "#[cfg(test)]" {
+            continue;
+        }
+        let attr_line = idx + 1;
+        let mut p = 0;
+        while p < stream.len() && stream[p].1 <= attr_line {
+            p += 1;
+        }
+        let mut end_line = lines.len();
+        while p < stream.len() {
+            match stream[p].0 {
+                '{' => {
+                    let close = block_end(&stream, p);
+                    end_line = stream.get(close - 1).map_or(lines.len(), |&(_, l)| l);
+                    break;
+                }
+                ';' => {
+                    end_line = stream[p].1;
+                    break;
+                }
+                _ => p += 1,
+            }
+        }
+        for m in mask.iter_mut().take(end_line).skip(idx) {
+            *m = true;
+        }
+    }
+    mask
+}
+
+/// Like [`code_stream`], but lines masked as test regions are dropped
+/// entirely (their line numbers simply never appear in the stream).
+pub(crate) fn code_stream_masked(lines: &[LineView], mask: &[bool]) -> Vec<(char, usize)> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if mask.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        for c in line.code.chars() {
+            out.push((c, idx + 1));
+        }
+        out.push((' ', idx + 1));
+    }
+    out
+}
+
 /// Is `pat` present at `i` in the stream, character for character?
-fn matches_at(stream: &[(char, usize)], i: usize, pat: &str) -> bool {
+pub(crate) fn matches_at(stream: &[(char, usize)], i: usize, pat: &str) -> bool {
     pat.chars()
         .enumerate()
         .all(|(k, pc)| stream.get(i + k).map(|&(c, _)| c) == Some(pc))
 }
 
 /// Is keyword `kw` at `i`, with identifier boundaries on both sides?
-fn keyword_at(stream: &[(char, usize)], i: usize, kw: &str) -> bool {
+pub(crate) fn keyword_at(stream: &[(char, usize)], i: usize, kw: &str) -> bool {
     if !matches_at(stream, i, kw) {
         return false;
     }
@@ -598,7 +672,7 @@ fn keyword_at(stream: &[(char, usize)], i: usize, kw: &str) -> bool {
     before_ok && after_ok
 }
 
-fn skip_ws(stream: &[(char, usize)], mut i: usize) -> usize {
+pub(crate) fn skip_ws(stream: &[(char, usize)], mut i: usize) -> usize {
     while stream.get(i).is_some_and(|&(c, _)| c.is_whitespace()) {
         i += 1;
     }
@@ -840,7 +914,7 @@ fn check_rank_divergent_collectives(stream: &[(char, usize)]) -> Vec<(usize, Str
 }
 
 /// Index one past the `}` matching the `{` at `open`.
-fn block_end(stream: &[(char, usize)], open: usize) -> usize {
+pub(crate) fn block_end(stream: &[(char, usize)], open: usize) -> usize {
     let mut depth = 0i32;
     let mut i = open;
     while let Some(&(c, _)) = stream.get(i) {
@@ -922,12 +996,9 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         });
     }
 
-    // The repo keeps unit tests in a `#[cfg(test)]` mod at the file
-    // tail; everything from that attribute on is test code.
-    let test_tail_start = lines
-        .iter()
-        .position(|l| l.code.trim() == "#[cfg(test)]")
-        .unwrap_or(lines.len());
+    // Test regions: any brace-delimited `#[cfg(test)]` item — the usual
+    // file-tail `mod tests`, but also mid-file test modules.
+    let test_mask = test_region_mask(&lines);
 
     let push = |lineno: usize, rule: Rule, message: String, findings: &mut Vec<Finding>| {
         if !sup.covers(lineno, rule) {
@@ -943,7 +1014,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
     for (idx, line) in lines.iter().enumerate() {
         let lineno = idx + 1;
         let code = line.code.as_str();
-        let in_test_region = class.test_context || idx >= test_tail_start;
+        let in_test_region = class.test_context || test_mask[idx];
 
         // U1 — applies everywhere, test code included: unsafe is unsafe.
         if has_token(code, "unsafe") {
@@ -1074,15 +1145,18 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
-    // R1/R2 — cross-line collective-discipline passes over the non-test
-    // code region.
+    // R1/R2/R4/R5 — cross-line collective-discipline passes over the
+    // non-test code region.
     if class.race_scope && !class.test_context {
-        let stream = code_stream(&lines, test_tail_start);
+        let stream = code_stream_masked(&lines, &test_mask);
         for (lineno, message) in check_exchange_discipline(&stream) {
             push(lineno, Rule::R1, message, &mut findings);
         }
         for (lineno, message) in check_rank_divergent_collectives(&stream) {
             push(lineno, Rule::R2, message, &mut findings);
+        }
+        for pf in crate::phasegraph::check_stream(&stream) {
+            push(pf.line, pf.rule, pf.message, &mut findings);
         }
     }
 
@@ -1135,7 +1209,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
 /// Directories never descended into during the workspace walk.
 const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", "results"];
 
-fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+pub(crate) fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
         .filter_map(Result::ok)
         .map(|e| e.path())

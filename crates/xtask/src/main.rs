@@ -4,13 +4,21 @@
 //! - `lint [--json] [paths..]` — run the louvain-lint pass (Section V-B
 //!   determinism hazards and friends; see crate docs). Exits non-zero
 //!   when findings exist.
+//! - `protocol [--check]` — extract the workspace collective-protocol
+//!   spec (phase-graph analysis) and write it to
+//!   `results/protocol_spec.json`; `--check` byte-diffs against the
+//!   committed spec instead and fails on drift.
 //! - `check` — umbrella: `cargo fmt --check`, `cargo clippy --workspace`,
 //!   the lint pass, and `cargo test -q`, stopping at the first failure.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
-use xtask::lint::{lint_workspace, to_json_report, Finding};
+use xtask::lint::{lint_source, lint_workspace, to_json_report, Finding};
+use xtask::phasegraph::extract_protocol_spec;
+
+/// Workspace-relative path of the committed protocol-spec lockfile.
+const PROTOCOL_SPEC_PATH: &str = "results/protocol_spec.json";
 
 fn workspace_root() -> PathBuf {
     // crates/xtask -> workspace root is two levels up.
@@ -36,13 +44,28 @@ fn run_lint(args: &[String]) -> ExitCode {
             } else {
                 PathBuf::from(p.as_str())
             };
-            lint_workspace(&target).map(|f| findings.extend(f))
+            if target.is_file() {
+                let rel = target
+                    .strip_prefix(&root)
+                    .unwrap_or(&target)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let src = std::fs::read_to_string(&target)?;
+                findings.extend(lint_source(&rel, &src));
+                Ok(())
+            } else {
+                lint_workspace(&target).map(|f| findings.extend(f))
+            }
         })
     };
     if let Err(e) = result {
         eprintln!("xtask lint: I/O error: {e}");
         return ExitCode::from(2);
     }
+    // Deterministic report order regardless of how the paths were
+    // gathered: explicit path arguments are visited in argv order, so
+    // re-sort the union the same way `lint_workspace` sorts its walk.
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
     if json {
         println!("{}", to_json_report(&findings));
     } else {
@@ -58,6 +81,68 @@ fn run_lint(args: &[String]) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+fn run_protocol(args: &[String]) -> ExitCode {
+    let check = args.iter().any(|a| a == "--check");
+    // `--spec-path <file>` overrides the committed lockfile location; the
+    // conformance tests use it to prove `--check` rejects a stale spec
+    // without touching the committed one.
+    let spec_override = args
+        .iter()
+        .position(|a| a == "--spec-path")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+    let root = workspace_root();
+    let spec = match extract_protocol_spec(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask protocol: extraction failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rendered = spec.to_json();
+    let path = spec_override.unwrap_or_else(|| root.join(PROTOCOL_SPEC_PATH));
+    if check {
+        match std::fs::read_to_string(&path) {
+            Ok(committed) if committed == rendered => {
+                eprintln!("xtask protocol: {PROTOCOL_SPEC_PATH} is up to date");
+                ExitCode::SUCCESS
+            }
+            Ok(_) => {
+                eprintln!(
+                    "xtask protocol: {PROTOCOL_SPEC_PATH} is stale — the communication \
+                     skeleton changed; regenerate with `cargo run -p xtask -- protocol` \
+                     and commit the diff"
+                );
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!(
+                    "xtask protocol: cannot read {PROTOCOL_SPEC_PATH} ({e}); generate it \
+                     with `cargo run -p xtask -- protocol` and commit it"
+                );
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("xtask protocol: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("xtask protocol: cannot write {PROTOCOL_SPEC_PATH}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "xtask protocol: wrote {PROTOCOL_SPEC_PATH} (entry {}, {} top-level node(s))",
+            spec.entry,
+            spec.protocol.len()
+        );
+        ExitCode::SUCCESS
     }
 }
 
@@ -103,6 +188,11 @@ fn run_check() -> ExitCode {
             .args(["run", "-q", "-p", "xtask", "--", "lint"])
             .current_dir(&root),
     ) && run_step(
+        "xtask protocol --check",
+        Command::new("cargo")
+            .args(["run", "-q", "-p", "xtask", "--", "protocol", "--check"])
+            .current_dir(&root),
+    ) && run_step(
         "cargo build --examples",
         Command::new("cargo")
             .args(["build", "--examples"])
@@ -130,9 +220,12 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
+        Some("protocol") => run_protocol(&args[1..]),
         Some("check") => run_check(),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint [--json] [paths..] | check>");
+            eprintln!(
+                "usage: cargo run -p xtask -- <lint [--json] [paths..] | protocol [--check] | check>"
+            );
             ExitCode::from(2)
         }
     }

@@ -1,0 +1,26 @@
+// lint-fixture-path: crates/core/src/fixture_midfile.rs
+//! Regression fixture for the test-region blind spot: a `#[cfg(test)]`
+//! module in the *middle* of the file must be exempt from library-only
+//! rules, while real library code after it stays in scope. The old
+//! file-tail heuristic masked everything from the attribute to EOF, so
+//! `after()` below went unlinted.
+
+/// Library code before the test module: clean.
+pub fn before(x: u32) -> u32 {
+    x + 1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}
+
+/// Library code after the test module: the unwrap here must still fire
+/// P1 even though a `#[cfg(test)]` region precedes it.
+pub fn after(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -1,0 +1,23 @@
+// lint-fixture-path: crates/core/src/fixture_r4.rs
+//! R4 fixture: rank-divergent conditionals with unequal protocol effect.
+//! Both cases defeat the syntactic R2 (the condition never spells
+//! `rank`); only the taint-tracking phase-graph analysis catches them.
+
+/// Taint flows through the assignment: `leader` derives from `rank()`,
+/// and only the leader arm enters the barrier.
+pub fn leader_only_barrier(ctx: &Ctx) {
+    let leader = ctx.rank() == 0;
+    if leader {
+        ctx.barrier();
+    }
+}
+
+/// Divergent early return: non-zero ranks skip the barrier that rank 0
+/// still enters, deadlocking it.
+pub fn early_return_skips_collective(ctx: &Ctx) {
+    let r = ctx.rank();
+    if r > 0 {
+        return;
+    }
+    ctx.barrier();
+}

@@ -1,0 +1,238 @@
+//! Dynamic conformance: the solver's *observed* collective sequences —
+//! recorded by the runtime at every rank — are accepted by an NFA built
+//! from the *statically extracted* protocol spec, at 2/4/8 ranks and
+//! under every perturbed delivery schedule. This closes the loop between
+//! the phase-graph analysis (DESIGN.md §11) and the running system: if
+//! the static spec and the real communication skeleton ever disagree,
+//! one of these tests fails before the lockfile diff does.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use louvain_core::parallel::{ParallelConfig, ParallelLouvain, ParallelResult};
+use louvain_graph::edgelist::EdgeListBuilder;
+use louvain_graph::gen::planted::{generate_planted, PlantedConfig};
+use louvain_graph::EdgeList;
+use xtask::{extract_protocol_spec, Nfa, ProtocolSpec, SpecNode};
+
+/// Same seed battery as the race harness in
+/// `crates/runtime/tests/schedule_perturbation.rs`.
+const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 0xDEAD_BEEF, u64::MAX];
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn test_graph() -> EdgeList {
+    generate_planted(
+        &PlantedConfig {
+            communities: 6,
+            community_size: 20,
+            p_in: 0.35,
+            p_out: 0.02,
+        },
+        42,
+    )
+    .0
+}
+
+fn spec() -> ProtocolSpec {
+    extract_protocol_spec(&workspace_root()).expect("spec extraction succeeds on the tree")
+}
+
+/// Rank 0's observed sequence as NFA input words, after asserting every
+/// rank recorded the identical sequence (lockstep by construction).
+fn words(r: &ParallelResult) -> Vec<String> {
+    assert!(!r.protocol_logs.is_empty(), "recording produced no logs");
+    for (rank, log) in r.protocol_logs.iter().enumerate() {
+        assert_eq!(
+            log, &r.protocol_logs[0],
+            "rank {rank} observed a different collective sequence than rank 0"
+        );
+        assert!(!log.is_empty(), "rank {rank} recorded no collectives");
+    }
+    r.protocol_logs[0].iter().map(|k| k.to_string()).collect()
+}
+
+/// The committed lockfile and a fresh extraction are byte-identical —
+/// the in-repo equivalent of `xtask protocol --check`.
+#[test]
+fn committed_spec_matches_fresh_extraction() {
+    let committed = std::fs::read_to_string(workspace_root().join("results/protocol_spec.json"))
+        .expect("results/protocol_spec.json is committed");
+    assert_eq!(
+        committed,
+        spec().to_json(),
+        "committed spec is stale; regenerate with `cargo run -p xtask -- protocol`"
+    );
+}
+
+/// The acceptance test: at 2/4/8 ranks, under the unperturbed and every
+/// perturbed schedule, all ranks observe one identical collective
+/// sequence, the static NFA accepts it, and the solver output stays
+/// bit-identical across schedules.
+#[test]
+fn observed_sequences_conform_to_static_spec() {
+    let nfa = Nfa::from_spec(&spec());
+    let edges = test_graph();
+    for ranks in [2usize, 4, 8] {
+        let solve = |perturb_seed: Option<u64>| {
+            ParallelLouvain::new(ParallelConfig {
+                record_protocol: true,
+                perturb_seed,
+                ..ParallelConfig::with_ranks(ranks)
+            })
+            .run(&edges)
+        };
+        let baseline = solve(None);
+        let base_words = words(&baseline);
+        assert!(
+            nfa.accepts(&base_words),
+            "{ranks} ranks: observed sequence not accepted by the spec:\n{base_words:?}"
+        );
+        let base_q = baseline.result.final_modularity.to_bits();
+        let base_part = baseline.result.final_partition.labels().to_vec();
+        for seed in SEEDS {
+            let perturbed = solve(Some(seed));
+            assert_eq!(
+                words(&perturbed),
+                base_words,
+                "{ranks} ranks, seed {seed}: perturbation changed the collective sequence"
+            );
+            assert_eq!(
+                perturbed.result.final_modularity.to_bits(),
+                base_q,
+                "{ranks} ranks, seed {seed}: modularity depends on the schedule"
+            );
+            assert_eq!(
+                perturbed.result.final_partition.labels(),
+                &base_part[..],
+                "{ranks} ranks, seed {seed}: partition depends on the schedule"
+            );
+        }
+    }
+}
+
+/// Distributed loading takes the other arm of the spec's initial branch
+/// (`build_initial_level_distributed`); its observed sequence must also
+/// be accepted.
+#[test]
+fn distributed_build_path_conforms_to_static_spec() {
+    let nfa = Nfa::from_spec(&spec());
+    let el = test_graph();
+    let ranks = 2usize;
+    let chunks: Vec<EdgeList> = (0..ranks)
+        .map(|r| {
+            let mut b = EdgeListBuilder::new(el.num_vertices());
+            for (i, e) in el.edges().iter().enumerate() {
+                if i % ranks == r {
+                    b.add_edge(e.u, e.v, e.w);
+                }
+            }
+            b.build()
+        })
+        .collect();
+    let result = ParallelLouvain::new(ParallelConfig {
+        record_protocol: true,
+        ..ParallelConfig::with_ranks(ranks)
+    })
+    .run_from_parts(el.num_vertices(), |r| chunks[r].clone());
+    let w = words(&result);
+    assert!(
+        nfa.accepts(&w),
+        "distributed-build sequence not accepted by the spec:\n{w:?}"
+    );
+}
+
+/// Sensitivity control: seeded mutations of the spec (an inserted op, a
+/// deleted op, a substituted op) must all *reject* the real observed
+/// sequence — the NFA is not vacuously permissive.
+#[test]
+fn mutated_specs_reject_the_observed_sequence() {
+    let base = spec();
+    let edges = test_graph();
+    let result = ParallelLouvain::new(ParallelConfig {
+        record_protocol: true,
+        ..ParallelConfig::with_ranks(2)
+    })
+    .run(&edges);
+    let w = words(&result);
+    assert!(
+        Nfa::from_spec(&base).accepts(&w),
+        "control: base spec accepts"
+    );
+
+    let first_op = base
+        .protocol
+        .iter()
+        .position(|n| matches!(n, SpecNode::Op(_)))
+        .expect("spec has at least one top-level op");
+
+    let mut inserted = base.clone();
+    inserted
+        .protocol
+        .insert(first_op, SpecNode::Op("Barrier".into()));
+    assert!(
+        !Nfa::from_spec(&inserted).accepts(&w),
+        "spec with an extra Barrier still accepts the observed sequence"
+    );
+
+    let mut removed = base.clone();
+    removed.protocol.remove(first_op);
+    assert!(
+        !Nfa::from_spec(&removed).accepts(&w),
+        "spec missing an op still accepts the observed sequence"
+    );
+
+    let mut swapped = base.clone();
+    swapped.protocol[first_op] = SpecNode::Op("Barrier".into());
+    assert!(
+        !Nfa::from_spec(&swapped).accepts(&w),
+        "spec with a substituted op still accepts the observed sequence"
+    );
+}
+
+/// The CLI gate end to end: `--check` passes against the committed
+/// lockfile and fails (with the regeneration hint) against a seeded
+/// stale copy supplied via `--spec-path`.
+#[test]
+fn protocol_check_cli_passes_on_tree_and_fails_on_seeded_mutation() {
+    let ok = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["protocol", "--check"])
+        .output()
+        .expect("xtask binary runs");
+    assert!(
+        ok.status.success(),
+        "protocol --check failed on the committed tree: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+
+    let committed = std::fs::read_to_string(workspace_root().join("results/protocol_spec.json"))
+        .expect("committed spec readable");
+    let mutated = committed.replacen("\"ReduceF64\"", "\"Barrier\"", 1);
+    assert_ne!(committed, mutated, "mutation seed found nothing to change");
+    let stale_path = Path::new(env!("CARGO_TARGET_TMPDIR")).join("stale_protocol_spec.json");
+    std::fs::write(&stale_path, mutated).expect("tmp spec written");
+
+    let bad = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args([
+            "protocol",
+            "--check",
+            "--spec-path",
+            stale_path.to_str().expect("utf-8 tmp path"),
+        ])
+        .output()
+        .expect("xtask binary runs");
+    assert!(
+        !bad.status.success(),
+        "protocol --check accepted a mutated spec"
+    );
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(
+        stderr.contains("stale") && stderr.contains("cargo run -p xtask -- protocol"),
+        "stale diagnostic must carry the regeneration hint: {stderr}"
+    );
+}

@@ -27,6 +27,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo run -q -p xtask -- lint"
 cargo run -q -p xtask -- lint
 
+# Protocol-spec lockfile: the statically extracted collective skeleton
+# must byte-match results/protocol_spec.json (DESIGN.md §11).
+echo "==> cargo run -q -p xtask -- protocol --check"
+cargo run -q -p xtask -- protocol --check
+
 echo "==> cargo build --examples"
 cargo build --examples
 
