@@ -61,7 +61,9 @@ use louvain_graph::edgelist::EdgeList;
 use louvain_graph::partition1d::ModuloPartition;
 use louvain_hash::{pack_key, unpack_key, EdgeTable};
 use louvain_metrics::Partition;
-use louvain_runtime::{run_with_config_logged, CollectiveKind, CommStats, RankCtx, RuntimeConfig};
+use louvain_runtime::{
+    run_with_config_logged, CollectiveKind, CommStats, Exchange, RankCtx, RuntimeConfig,
+};
 use louvain_trace::{Event, RankTrace};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -122,6 +124,14 @@ pub struct ParallelConfig {
     /// [`ParallelResult::protocol_logs`] and must be accepted by the
     /// static protocol spec (DESIGN.md §11).
     pub record_protocol: bool,
+    /// Testing/ablation knob: when `true`, STATE PROPAGATION falls back
+    /// to the v1 full per-arc rebuild (every local vertex announces its
+    /// label along every out-arc, every iteration) instead of the
+    /// delta-compressed path of DESIGN.md §10. Results are identical;
+    /// only the message volume differs. The cost-conformance suite flips
+    /// this to prove the volume verifier rejects the regression
+    /// (DESIGN.md §12).
+    pub v1_state_rebuild: bool,
 }
 
 impl Default for ParallelConfig {
@@ -141,6 +151,7 @@ impl Default for ParallelConfig {
             charge_per_message: 1.0,
             perturb_seed: None,
             record_protocol: false,
+            v1_state_rebuild: false,
         }
     }
 }
@@ -933,27 +944,57 @@ fn build_out_table_local(lvl: &RankLevel, out_table: &mut EdgeTable) {
 /// order by [`RemoteCache::apply_deltas`], which moves each affected
 /// row's weight from the cached old community to the new one and
 /// structurally zeroes rows whose last contributor left (DESIGN.md §10).
+/// The v1 full per-arc rebuild (ablation/testing only): re-announce every
+/// local vertex's label along every out-arc, whether it moved or not.
+/// [`RemoteCache::apply_deltas`] skips no-op rows, so the patched table is
+/// identical to the delta path's — this arm exists so the cost-conformance
+/// suite can show the volume verifier catching the
+/// `O(local_arcs)`-per-iteration regression the delta path was built to
+/// eliminate (DESIGN.md §12).
+fn send_full_rebuild(
+    ex: &mut Exchange<'_, '_, Msg>,
+    lvl: &RankLevel,
+    cache: &RemoteCache,
+    rank: usize,
+) {
+    let part = lvl.part;
+    let local_n = part.local_count(rank);
+    for li in 0..local_n {
+        let v = part.global(rank, li);
+        let c = lvl.label[li];
+        for &s in &cache.out_srcs[cache.out_offsets[li]..cache.out_offsets[li + 1]] {
+            ex.send(part.owner(s), Msg { a: v, b: c, w: 0.0 });
+        }
+    }
+}
+
 fn propagate_deltas(
     ctx: &mut RankCtx<'_, Msg>,
     lvl: &RankLevel,
     cache: &mut RemoteCache,
     out_table: &mut EdgeTable,
     migrated: &[(u32, u32)],
+    v1_state_rebuild: bool,
 ) {
     let part = lvl.part;
+    let rank = ctx.rank();
     let mut ex = ctx.exchange();
-    for &(u, c_new) in migrated {
-        let li = part.local_index(u);
-        for &s in &cache.out_srcs[cache.out_offsets[li]..cache.out_offsets[li + 1]] {
-            ex.send_keyed(
-                part.owner(s),
-                u64::from(u),
-                Msg {
-                    a: u,
-                    b: c_new,
-                    w: 0.0,
-                },
-            );
+    if v1_state_rebuild {
+        send_full_rebuild(&mut ex, lvl, cache, rank);
+    } else {
+        for &(u, c_new) in migrated {
+            let li = part.local_index(u);
+            for &s in &cache.out_srcs[cache.out_offsets[li]..cache.out_offsets[li + 1]] {
+                ex.send_keyed(
+                    part.owner(s),
+                    u64::from(u),
+                    Msg {
+                        a: u,
+                        b: c_new,
+                        w: 0.0,
+                    },
+                );
+            }
         }
     }
     // Buffer first, patch after: the patched table must be a function of
@@ -1212,7 +1253,7 @@ fn refine(
         let t_prop = Stopwatch::start();
         let sent_before = ctx.sent_messages();
         if moves > 0 {
-            propagate_deltas(ctx, lvl, cache, out_table, &migrated);
+            propagate_deltas(ctx, lvl, cache, out_table, &migrated, cfg.v1_state_rebuild);
         }
         comm.state_propagation += ctx.sent_messages() - sent_before;
         sim_lap(ctx, &mut sim.state_propagation);

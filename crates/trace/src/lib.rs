@@ -105,6 +105,17 @@ impl Counter {
     pub fn reset(&self) -> u64 {
         self.value.replace(0)
     }
+
+    /// `true` once the counter has pegged at [`u64::MAX`].
+    ///
+    /// A pegged counter no longer measures anything — consumers that
+    /// compare counter readings against bounds (the cost-conformance
+    /// suite, DESIGN.md §12) must treat saturation as a hard error
+    /// rather than silently passing a meaningless comparison.
+    #[inline]
+    pub fn is_saturated(&self) -> bool {
+        self.value.get() == u64::MAX
+    }
 }
 
 /// One trace event. All ordering information is carried by the BSP
@@ -273,14 +284,17 @@ mod tests {
     fn counter_saturates_instead_of_wrapping() {
         let c = Counter::new();
         c.add(u64::MAX - 1);
+        assert!(!c.is_saturated());
         c.incr();
         assert_eq!(c.get(), u64::MAX);
+        assert!(c.is_saturated());
         c.add(1);
         assert_eq!(c.get(), u64::MAX, "pegged, not wrapped");
         c.add(u64::MAX);
         assert_eq!(c.get(), u64::MAX);
         assert_eq!(c.reset(), u64::MAX);
         assert_eq!(c.get(), 0);
+        assert!(!c.is_saturated());
     }
 
     #[test]

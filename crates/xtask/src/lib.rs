@@ -20,6 +20,8 @@
 //! | `R4` | the arms of a rank-divergent conditional (condition tainted by rank-local data, tracked through assignments) must have equal protocol effect — no arm-specific collective sequences, no divergent early exits that skip collectives other ranks still run |
 //! | `R5` | no collective inside a loop whose trip count derives from rank-local data — iteration bounds must come from replicated/allreduced values so all ranks run the same number of collective rounds |
 //! | `T1` | no wall-clock reads (`Instant::now`, `SystemTime::now`) on traced solver/runtime paths (`crates/{core,runtime,trace}`) outside the sanctioned `crates/core/src/timing.rs` module — wall time must never reach a deterministic trace or `BENCH_*.json` |
+//! | `M1` | no collective/exchange site whose payload classifies `Unbounded` in the cost analysis — every shipped buffer or loop-driven send volume must trace to a recognized solver quantity (deltas, n_local, local_arcs, a constant, or a parameter) |
+//! | `A1` | no `Vec::new()`/`vec![]` grown with `push`/`extend` inside a loop of a traced (`Event::Enter`/`Event::Exit`-bracketed) phase region — per-iteration allocation on the measured hot path |
 //! | `SUP` | every suppression comment carries a non-empty reason |
 //!
 //! Suppress a finding with a comment of the form `lint: allow(D1) — reason`
@@ -43,12 +45,23 @@
 //! solver entry point — and emits it as the committed
 //! `results/protocol_spec.json` lockfile (`xtask protocol`, DESIGN.md
 //! §11). The R4/R5 rules above are the per-file face of that analysis.
+//!
+//! [`costgraph`] is the third leg of the verifier stack (ordering →
+//! determinism → volume): it classifies every collective/exchange site
+//! reachable from the same entry point with a symbolic payload bound
+//! and invocation multiplicity, committed as `results/cost_spec.json`
+//! (`xtask cost`, DESIGN.md §12) and conformance-checked against the
+//! runtime trace counters. M1/A1 are its per-file face.
 
 #![warn(missing_docs)]
 
+pub mod costgraph;
 pub mod lint;
 pub mod phasegraph;
 
+pub use costgraph::{
+    extract_cost_spec, CostSite, CostSpec, Multiplicity, PayloadClass, COST_SPEC_SCHEMA_VERSION,
+};
 pub use lint::{
     lint_source, lint_workspace, Finding, Rule, BENCH_SNAPSHOT_SCHEMA_VERSION, JSON_SCHEMA_VERSION,
 };

@@ -57,13 +57,24 @@ pub enum Rule {
     /// a wall-clock value reaching a trace or `BENCH_*.json` breaks the
     /// bit-identical determinism contract.
     T1,
+    /// Collective/exchange payload classified `Unbounded` by the cost
+    /// analysis: the shipped volume derives from no recognized solver
+    /// quantity (no seed, no parameter, no bounded loop) — the
+    /// per-file face of the `xtask cost` spec, like R4/R5 for the
+    /// protocol spec.
+    M1,
+    /// Per-iteration allocation on a traced hot path: `Vec::new()` /
+    /// `vec![]` grown with `push`/`extend` inside a loop of an
+    /// `Event::Enter`/`Event::Exit`-bracketed phase region, without a
+    /// dominating `reserve`/`with_capacity`.
+    A1,
     /// Suppression comment without a reason.
     Sup,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 15] = [
         Rule::D1,
         Rule::F1,
         Rule::F2,
@@ -76,6 +87,8 @@ impl Rule {
         Rule::R4,
         Rule::R5,
         Rule::T1,
+        Rule::M1,
+        Rule::A1,
         Rule::Sup,
     ];
 
@@ -95,6 +108,8 @@ impl Rule {
             Rule::R4 => "R4",
             Rule::R5 => "R5",
             Rule::T1 => "T1",
+            Rule::M1 => "M1",
+            Rule::A1 => "A1",
             Rule::Sup => "SUP",
         }
     }
@@ -167,8 +182,9 @@ fn json_escape(s: &str) -> String {
 /// can detect incompatible layouts; adding rules only adds `counts`
 /// keys. Version 2 introduced the field itself alongside rules R1–R3;
 /// version 3 added `bench_snapshot_schema_version`; version 4 added the
-/// phase-graph rules R4/R5 and `protocol_spec_schema_version`.
-pub const JSON_SCHEMA_VERSION: u32 = 4;
+/// phase-graph rules R4/R5 and `protocol_spec_schema_version`; version
+/// 5 added the cost rules M1/A1 and `cost_spec_schema_version`.
+pub const JSON_SCHEMA_VERSION: u32 = 5;
 
 /// The `schema_version` of `BENCH_louvain.json` emitted by
 /// `louvain-bench bench-snapshot`, republished here so `xtask --json`
@@ -194,10 +210,11 @@ pub fn to_json_report(findings: &[Finding]) -> String {
         .map(|f| format!("    {}", f.to_json()))
         .collect();
     format!(
-        "{{\n  \"schema_version\": {},\n  \"bench_snapshot_schema_version\": {},\n  \"protocol_spec_schema_version\": {},\n  \"total\": {},\n  \"counts\": {{{}}},\n  \"findings\": [\n{}\n  ]\n}}",
+        "{{\n  \"schema_version\": {},\n  \"bench_snapshot_schema_version\": {},\n  \"protocol_spec_schema_version\": {},\n  \"cost_spec_schema_version\": {},\n  \"total\": {},\n  \"counts\": {{{}}},\n  \"findings\": [\n{}\n  ]\n}}",
         JSON_SCHEMA_VERSION,
         BENCH_SNAPSHOT_SCHEMA_VERSION,
         crate::phasegraph::PROTOCOL_SPEC_SCHEMA_VERSION,
+        crate::costgraph::COST_SPEC_SCHEMA_VERSION,
         findings.len(),
         counts_json.join(","),
         list.join(",\n")
@@ -390,6 +407,10 @@ struct FileClass {
     /// T1 scope: traced solver/runtime/trace source, where wall-clock
     /// reads are banned outside the sanctioned `timing.rs` module.
     t1_scope: bool,
+    /// M1/A1 scope: solver-crate source — the same surface the
+    /// `xtask cost` spec classifies (runtime internals implement the
+    /// collectives and are exempt by construction).
+    cost_scope: bool,
 }
 
 fn classify(rel: &str) -> FileClass {
@@ -416,6 +437,7 @@ fn classify(rel: &str) -> FileClass {
         .iter()
         .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
         && rel != "crates/core/src/timing.rs";
+    let cost_scope = rel.starts_with("crates/core/src/");
     FileClass {
         test_context,
         deterministic_path,
@@ -426,6 +448,7 @@ fn classify(rel: &str) -> FileClass {
         race_scope,
         r3_exempt,
         t1_scope,
+        cost_scope,
     }
 }
 
@@ -685,19 +708,45 @@ struct OpenPhase {
     /// Brace depth at the `ctx.exchange()` call: the phase must `finish`
     /// before this scope closes.
     start_depth: i32,
-    /// Brace depths of loops opened *after* the phase started; a plain
-    /// `break`/`continue` is fine while one is active.
-    loops: Vec<i32>,
+    /// Brace depths (and optional labels) of loops opened *after* the
+    /// phase started; a plain `break`/`continue` is fine while one is
+    /// active, and a labeled one is fine when its target is in here —
+    /// the jump lands after/at a loop that is still inside the phase,
+    /// before `finish()`.
+    loops: Vec<(i32, Option<String>)>,
     /// A `for`/`while`/`loop` keyword was seen and its body `{` is
-    /// pending (armed at this paren depth).
-    pending_loop: Option<i32>,
+    /// pending (armed at this paren depth, with the loop's label if it
+    /// had one).
+    pending_loop: Option<(i32, Option<String>)>,
+}
+
+/// The `'label` immediately preceding a loop keyword at `i`
+/// (`'outer: for …`), if any.
+fn label_before(stream: &[(char, usize)], i: usize) -> Option<String> {
+    let mut j = i;
+    while j > 0 && stream[j - 1].0.is_whitespace() {
+        j -= 1;
+    }
+    if j == 0 || stream[j - 1].0 != ':' {
+        return None;
+    }
+    j -= 1;
+    let end = j;
+    while j > 0 && is_ident_char(stream[j - 1].0) {
+        j -= 1;
+    }
+    if j == end || j == 0 || stream[j - 1].0 != '\'' {
+        return None;
+    }
+    Some(stream[j..end].iter().map(|&(c, _)| c).collect())
 }
 
 /// R1 — every `.exchange()` must reach exactly one `.finish()` with no
 /// early exit in between. Token-level approximation of "paired on all
-/// control-flow paths": flags `return`, `?`, labeled `break`, and plain
-/// `break`/`continue` targeting a loop that encloses the phase, plus
-/// overlapping phases and phases whose scope ends unfinished.
+/// control-flow paths": flags `return`, `?`, `break`/`continue` whose
+/// target loop encloses the phase (plain ones with no phase-interior
+/// loop active, labeled ones whose label names no phase-interior loop),
+/// plus overlapping phases and phases whose scope ends unfinished.
 fn check_exchange_discipline(stream: &[(char, usize)]) -> Vec<(usize, String)> {
     let mut out = Vec::new();
     let mut phase: Option<OpenPhase> = None;
@@ -744,7 +793,7 @@ fn check_exchange_discipline(stream: &[(char, usize)]) -> Vec<(usize, String)> {
         };
         for kw in ["for", "while", "loop"] {
             if keyword_at(stream, i, kw) {
-                ph.pending_loop = Some(parens);
+                ph.pending_loop = Some((parens, label_before(stream, i)));
             }
         }
         if keyword_at(stream, i, "return") {
@@ -762,8 +811,24 @@ fn check_exchange_discipline(stream: &[(char, usize)]) -> Vec<(usize, String)> {
         if keyword_at(stream, i, "break") || keyword_at(stream, i, "continue") {
             let kw_len = if stream[i].0 == 'b' { 5 } else { 8 };
             let j = skip_ws(stream, i + kw_len);
-            let labeled = stream.get(j).is_some_and(|&(c, _)| c == '\'');
-            if labeled || ph.loops.is_empty() {
+            let label: Option<String> = stream
+                .get(j)
+                .filter(|&&(c, _)| c == '\'')
+                .map(|_| {
+                    let mut k = j + 1;
+                    let mut s = String::new();
+                    while stream.get(k).is_some_and(|&(c, _)| is_ident_char(c)) {
+                        s.push(stream[k].0);
+                        k += 1;
+                    }
+                    s
+                })
+                .filter(|s| !s.is_empty());
+            let escapes_phase = match &label {
+                Some(l) => !ph.loops.iter().any(|(_, ll)| ll.as_deref() == Some(l)),
+                None => ph.loops.is_empty(),
+            };
+            if escapes_phase {
                 out.push((
                     line,
                     format!(
@@ -789,13 +854,13 @@ fn check_exchange_discipline(stream: &[(char, usize)]) -> Vec<(usize, String)> {
             ')' => parens -= 1,
             '{' => {
                 depth += 1;
-                if ph.pending_loop == Some(parens) {
-                    ph.loops.push(depth);
-                    ph.pending_loop = None;
+                if ph.pending_loop.as_ref().is_some_and(|&(p, _)| p == parens) {
+                    let (_, lbl) = ph.pending_loop.take().expect("checked above");
+                    ph.loops.push((depth, lbl));
                 }
             }
             '}' => {
-                if ph.loops.last() == Some(&depth) {
+                if ph.loops.last().is_some_and(|&(d, _)| d == depth) {
                     ph.loops.pop();
                 }
                 depth -= 1;
@@ -1158,6 +1223,12 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         for pf in crate::phasegraph::check_stream(&stream) {
             push(pf.line, pf.rule, pf.message, &mut findings);
         }
+        // M1/A1 — communication-cost classification, solver crate only.
+        if class.cost_scope {
+            for pf in crate::costgraph::check_stream_cost(&stream) {
+                push(pf.line, pf.rule, pf.message, &mut findings);
+            }
+        }
     }
 
     // C1 — crate-root doc invariants.
@@ -1353,6 +1424,28 @@ mod tests {
         let src = "fn f(ctx: &mut C) {\n    let mut ex = ctx.exchange();\n    for x in xs {\n        if x == 0 { continue; }\n        if x == 9 { break; }\n        ex.send(0, x);\n    }\n    ex.finish(|_| {});\n}\n";
         let fs = lint_source("crates/core/src/foo.rs", src);
         assert!(fs.iter().all(|f| f.rule != Rule::R1), "{fs:?}");
+    }
+
+    #[test]
+    fn r1_accepts_labeled_break_targeting_phase_interior_loop() {
+        // `break 'outer` lands right after the labeled loop — still
+        // before `finish()`, so the phase is not leaked.
+        let src = "fn f(ctx: &mut C) {\n    let mut ex = ctx.exchange();\n    'outer: for x in xs {\n        for y in ys {\n            if y == 0 { break 'outer; }\n            ex.send(0, x);\n        }\n    }\n    ex.finish(|_| {});\n}\n";
+        let fs = lint_source("crates/core/src/foo.rs", src);
+        assert!(fs.iter().all(|f| f.rule != Rule::R1), "{fs:?}");
+    }
+
+    #[test]
+    fn r1_fires_on_labeled_break_escaping_the_phase() {
+        // Here the labeled loop encloses the `.exchange()` itself, so the
+        // jump skips `finish()`.
+        let src = "fn f(ctx: &mut C) {\n    'outer: for x in xs {\n        let mut ex = ctx.exchange();\n        for y in ys {\n            if y == 0 { break 'outer; }\n            ex.send(0, x);\n        }\n        ex.finish(|_| {});\n    }\n}\n";
+        let fs = lint_source("crates/core/src/foo.rs", src);
+        assert_eq!(
+            fs.iter().filter(|f| f.rule == Rule::R1).count(),
+            1,
+            "{fs:?}"
+        );
     }
 
     #[test]

@@ -1,24 +1,37 @@
 //! CLI for the workspace tooling: `cargo run -p xtask -- <command>`.
 //!
 //! Commands:
-//! - `lint [--json] [paths..]` — run the louvain-lint pass (Section V-B
-//!   determinism hazards and friends; see crate docs). Exits non-zero
-//!   when findings exist.
-//! - `protocol [--check]` — extract the workspace collective-protocol
-//!   spec (phase-graph analysis) and write it to
+//! - `lint [--json] [--update-baseline] [paths..]` — run the
+//!   louvain-lint pass (Section V-B determinism hazards and friends; see
+//!   crate docs). Exits non-zero when findings exist;
+//!   `--update-baseline` instead rewrites `results/lint_baseline.json`
+//!   from a fresh workspace run.
+//! - `protocol [--check|--update]` — extract the workspace
+//!   collective-protocol spec (phase-graph analysis) and write it to
 //!   `results/protocol_spec.json`; `--check` byte-diffs against the
 //!   committed spec instead and fails on drift.
+//! - `cost [--check|--update]` — extract the communication-cost spec
+//!   (per-site payload bound + invocation multiplicity) and write it to
+//!   `results/cost_spec.json`; `--check` byte-diffs like `protocol`.
 //! - `check` — umbrella: `cargo fmt --check`, `cargo clippy --workspace`,
-//!   the lint pass, and `cargo test -q`, stopping at the first failure.
+//!   the lint pass, both spec lockfiles, and `cargo test -q`, stopping
+//!   at the first failure.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
 
+use xtask::costgraph::extract_cost_spec;
 use xtask::lint::{lint_source, lint_workspace, to_json_report, Finding};
 use xtask::phasegraph::extract_protocol_spec;
 
 /// Workspace-relative path of the committed protocol-spec lockfile.
 const PROTOCOL_SPEC_PATH: &str = "results/protocol_spec.json";
+
+/// Workspace-relative path of the committed cost-spec lockfile.
+const COST_SPEC_PATH: &str = "results/cost_spec.json";
+
+/// Workspace-relative path of the committed lint baseline.
+const LINT_BASELINE_PATH: &str = "results/lint_baseline.json";
 
 fn workspace_root() -> PathBuf {
     // crates/xtask -> workspace root is two levels up.
@@ -31,8 +44,38 @@ fn workspace_root() -> PathBuf {
 
 fn run_lint(args: &[String]) -> ExitCode {
     let json = args.iter().any(|a| a == "--json");
+    let update_baseline = args.iter().any(|a| a == "--update-baseline");
     let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let root = workspace_root();
+    if update_baseline {
+        // One-command lockfile regeneration (the counterpart of
+        // `protocol --update` / `cost --update`): rewrite the committed
+        // baseline from a fresh workspace run.
+        let findings = match lint_workspace(&root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("xtask lint: I/O error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let path = root.join(LINT_BASELINE_PATH);
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("xtask lint: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        let report = to_json_report(&findings);
+        if let Err(e) = std::fs::write(&path, format!("{report}\n")) {
+            eprintln!("xtask lint: cannot write {LINT_BASELINE_PATH}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "xtask lint: wrote {LINT_BASELINE_PATH} ({} finding(s))",
+            findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
     let mut findings: Vec<Finding> = Vec::new();
     let result: std::io::Result<()> = if paths.is_empty() {
         lint_workspace(&root).map(|f| findings = f)
@@ -84,44 +127,47 @@ fn run_lint(args: &[String]) -> ExitCode {
     }
 }
 
-fn run_protocol(args: &[String]) -> ExitCode {
+/// Shared driver for the spec lockfile subcommands (`protocol`,
+/// `cost`): `--check` byte-diffs the fresh extraction against the
+/// committed file (every mismatch hint names the exact regeneration
+/// command), `--update` (or no flag) rewrites it. `--spec-path <file>`
+/// overrides the lockfile location; the conformance tests use it to
+/// prove `--check` rejects a stale spec without touching the committed
+/// one.
+fn run_lockfile(
+    cmd: &str,
+    spec_path: &str,
+    args: &[String],
+    rendered: &str,
+    written_note: &str,
+    stale_note: &str,
+) -> ExitCode {
     let check = args.iter().any(|a| a == "--check");
-    // `--spec-path <file>` overrides the committed lockfile location; the
-    // conformance tests use it to prove `--check` rejects a stale spec
-    // without touching the committed one.
     let spec_override = args
         .iter()
         .position(|a| a == "--spec-path")
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from);
     let root = workspace_root();
-    let spec = match extract_protocol_spec(&root) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("xtask protocol: extraction failed: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    let rendered = spec.to_json();
-    let path = spec_override.unwrap_or_else(|| root.join(PROTOCOL_SPEC_PATH));
+    let path = spec_override.unwrap_or_else(|| root.join(spec_path));
+    let regen = format!("cargo run -p xtask -- {cmd}");
     if check {
         match std::fs::read_to_string(&path) {
             Ok(committed) if committed == rendered => {
-                eprintln!("xtask protocol: {PROTOCOL_SPEC_PATH} is up to date");
+                eprintln!("xtask {cmd}: {spec_path} is up to date");
                 ExitCode::SUCCESS
             }
             Ok(_) => {
                 eprintln!(
-                    "xtask protocol: {PROTOCOL_SPEC_PATH} is stale — the communication \
-                     skeleton changed; regenerate with `cargo run -p xtask -- protocol` \
-                     and commit the diff"
+                    "xtask {cmd}: {spec_path} is stale — {stale_note}; regenerate with \
+                     `{regen}` and commit the diff"
                 );
                 ExitCode::FAILURE
             }
             Err(e) => {
                 eprintln!(
-                    "xtask protocol: cannot read {PROTOCOL_SPEC_PATH} ({e}); generate it \
-                     with `cargo run -p xtask -- protocol` and commit it"
+                    "xtask {cmd}: cannot read {spec_path} ({e}); generate it with \
+                     `{regen}` and commit it"
                 );
                 ExitCode::FAILURE
             }
@@ -129,21 +175,57 @@ fn run_protocol(args: &[String]) -> ExitCode {
     } else {
         if let Some(dir) = path.parent() {
             if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("xtask protocol: cannot create {}: {e}", dir.display());
+                eprintln!("xtask {cmd}: cannot create {}: {e}", dir.display());
                 return ExitCode::from(2);
             }
         }
-        if let Err(e) = std::fs::write(&path, &rendered) {
-            eprintln!("xtask protocol: cannot write {PROTOCOL_SPEC_PATH}: {e}");
+        if let Err(e) = std::fs::write(&path, rendered) {
+            eprintln!("xtask {cmd}: cannot write {spec_path}: {e}");
             return ExitCode::from(2);
         }
-        eprintln!(
-            "xtask protocol: wrote {PROTOCOL_SPEC_PATH} (entry {}, {} top-level node(s))",
-            spec.entry,
-            spec.protocol.len()
-        );
+        eprintln!("xtask {cmd}: wrote {spec_path} ({written_note})");
         ExitCode::SUCCESS
     }
+}
+
+fn run_protocol(args: &[String]) -> ExitCode {
+    let spec = match extract_protocol_spec(&workspace_root()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask protocol: extraction failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    run_lockfile(
+        "protocol",
+        PROTOCOL_SPEC_PATH,
+        args,
+        &spec.to_json(),
+        &format!(
+            "entry {}, {} top-level node(s)",
+            spec.entry,
+            spec.protocol.len()
+        ),
+        "the communication skeleton changed",
+    )
+}
+
+fn run_cost(args: &[String]) -> ExitCode {
+    let spec = match extract_cost_spec(&workspace_root()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("xtask cost: extraction failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    run_lockfile(
+        "cost",
+        COST_SPEC_PATH,
+        args,
+        &spec.to_json(),
+        &format!("entry {}, {} site(s)", spec.entry, spec.sites.len()),
+        "the per-phase communication volume classes changed",
+    )
 }
 
 fn run_step(name: &str, cmd: &mut Command) -> bool {
@@ -193,6 +275,11 @@ fn run_check() -> ExitCode {
             .args(["run", "-q", "-p", "xtask", "--", "protocol", "--check"])
             .current_dir(&root),
     ) && run_step(
+        "xtask cost --check",
+        Command::new("cargo")
+            .args(["run", "-q", "-p", "xtask", "--", "cost", "--check"])
+            .current_dir(&root),
+    ) && run_step(
         "cargo build --examples",
         Command::new("cargo")
             .args(["build", "--examples"])
@@ -221,10 +308,12 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(&args[1..]),
         Some("protocol") => run_protocol(&args[1..]),
+        Some("cost") => run_cost(&args[1..]),
         Some("check") => run_check(),
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- <lint [--json] [paths..] | protocol [--check] | check>"
+                "usage: cargo run -p xtask -- <lint [--json] [--update-baseline] [paths..] \
+                 | protocol [--check|--update] | cost [--check|--update] | check>"
             );
             ExitCode::from(2)
         }

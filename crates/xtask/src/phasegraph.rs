@@ -71,7 +71,7 @@ const SPEC_DIRS: [&str; 6] = [
 /// kind is one `enter_collective`, confirmed against the runtime
 /// source). `exchange` opens a phase but records nothing; `finish`
 /// records the `Exchange` plus the closing `SimSync`.
-const BUILTIN_EFFECTS: [(&str, &[&str]); 18] = [
+pub(crate) const BUILTIN_EFFECTS: [(&str, &[&str]); 18] = [
     ("barrier", &["Barrier"]),
     ("allreduce_sum", &["ReduceF64", "SimSync"]),
     ("allreduce_max", &["ReduceF64", "SimSync"]),
@@ -99,7 +99,7 @@ const KEYWORDS: [&str; 29] = [
     "return", "static", "struct", "trait", "true", "while",
 ];
 
-fn is_keyword(w: &str) -> bool {
+pub(crate) fn is_keyword(w: &str) -> bool {
     KEYWORDS.contains(&w)
         || w == "self"
         || w == "Self"
@@ -387,7 +387,7 @@ impl Nfa {
 // that turns a function body into a protocol-summary tree.
 // ---------------------------------------------------------------------------
 
-type Stream = [(char, usize)];
+pub(crate) type Stream = [(char, usize)];
 
 /// Internal (pre-canonicalization) summary node, one per function body.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -419,16 +419,20 @@ enum PNode {
 
 /// One function found in a file's stream.
 #[derive(Clone, Debug)]
-struct FnDef {
-    name: String,
-    line: usize,
-    has_self: bool,
-    body_open: usize,
-    body_end: usize,
+pub(crate) struct FnDef {
+    pub(crate) name: String,
+    pub(crate) line: usize,
+    pub(crate) has_self: bool,
+    /// Index of the parameter-list `(` in the stream.
+    pub(crate) params_open: usize,
+    /// Index one past the parameter-list `)`.
+    pub(crate) params_end: usize,
+    pub(crate) body_open: usize,
+    pub(crate) body_end: usize,
 }
 
 /// Read the identifier starting at `i`; empty if none.
-fn read_word(stream: &Stream, i: usize) -> String {
+pub(crate) fn read_word(stream: &Stream, i: usize) -> String {
     let mut w = String::new();
     let mut j = i;
     while let Some(&(c, _)) = stream.get(j) {
@@ -443,7 +447,7 @@ fn read_word(stream: &Stream, i: usize) -> String {
 }
 
 /// Index one past the `)`/`]` matching the opener at `open`.
-fn match_paren(stream: &Stream, open: usize) -> usize {
+pub(crate) fn match_paren(stream: &Stream, open: usize) -> usize {
     let (open_c, _) = stream[open];
     let close_c = match open_c {
         '(' => ')',
@@ -469,12 +473,12 @@ fn match_paren(stream: &Stream, open: usize) -> usize {
 
 /// Is the character at `i` preceded by an identifier character (so a
 /// keyword/identifier match at `i` would really be a suffix)?
-fn prev_is_ident(stream: &Stream, i: usize) -> bool {
+pub(crate) fn prev_is_ident(stream: &Stream, i: usize) -> bool {
     i > 0 && is_ident_char(stream[i - 1].0)
 }
 
 /// Extract every `fn` definition (including nested ones) from a stream.
-fn extract_fns(stream: &Stream) -> Vec<FnDef> {
+pub(crate) fn extract_fns(stream: &Stream) -> Vec<FnDef> {
     let mut fns = Vec::new();
     let mut i = 0usize;
     while i < stream.len() {
@@ -559,6 +563,8 @@ fn extract_fns(stream: &Stream) -> Vec<FnDef> {
                 name,
                 line: stream[kw_at].1,
                 has_self,
+                params_open,
+                params_end,
                 body_open: open,
                 body_end: block_end(stream, open),
             });
@@ -570,13 +576,13 @@ fn extract_fns(stream: &Stream) -> Vec<FnDef> {
 }
 
 /// One `lhs <- rhs` taint-propagation site inside a function body.
-struct Assign {
-    lhs: Vec<String>,
-    rhs: (usize, usize),
+pub(crate) struct Assign {
+    pub(crate) lhs: Vec<String>,
+    pub(crate) rhs: (usize, usize),
 }
 
 /// Identifiers in `stream[s..e]` (skipping keywords, `_` and numbers).
-fn idents_in(stream: &Stream, s: usize, e: usize) -> Vec<String> {
+pub(crate) fn idents_in(stream: &Stream, s: usize, e: usize) -> Vec<String> {
     let mut out = Vec::new();
     let mut i = s;
     while i < e {
@@ -622,7 +628,7 @@ fn expr_end(stream: &Stream, s: usize, e: usize) -> usize {
 
 /// Collect taint-propagation sites (`let`, `for` patterns, and plain or
 /// compound assignments) in `stream[s..e]`.
-fn collect_assignments(stream: &Stream, s: usize, e: usize) -> Vec<Assign> {
+pub(crate) fn collect_assignments(stream: &Stream, s: usize, e: usize) -> Vec<Assign> {
     let mut out = Vec::new();
     let mut i = s;
     while i < e {
@@ -776,7 +782,12 @@ fn collect_assignments(stream: &Stream, s: usize, e: usize) -> Vec<Assign> {
 /// skipped entirely — collectives return replicated values, and general
 /// calls default to replicated to keep false positives near zero; the
 /// blind spot is documented in DESIGN.md §11).
-fn expr_tainted(stream: &Stream, s: usize, e: usize, tainted: &BTreeSet<String>) -> bool {
+pub(crate) fn expr_tainted(
+    stream: &Stream,
+    s: usize,
+    e: usize,
+    tainted: &BTreeSet<String>,
+) -> bool {
     if stream[s..e.min(stream.len())]
         .iter()
         .any(|&(c, _)| c == '{')
@@ -831,7 +842,7 @@ fn expr_tainted(stream: &Stream, s: usize, e: usize, tainted: &BTreeSet<String>)
 
 /// Fixed-point taint set for one function body: seeds from `rank`
 /// spellings inside right-hand sides, propagates through assignments.
-fn taint_set(stream: &Stream, s: usize, e: usize) -> BTreeSet<String> {
+pub(crate) fn taint_set(stream: &Stream, s: usize, e: usize) -> BTreeSet<String> {
     let assigns = collect_assignments(stream, s, e);
     let mut tainted = BTreeSet::new();
     for _ in 0..16 {
@@ -894,7 +905,7 @@ fn ret_expr_end(stream: &Stream, s: usize, e: usize) -> usize {
 
 /// Scan from `s` to the body `{` at nesting depth 0 (for `if`/`while`/
 /// `for`-header/`match`-scrutinee positions). `None` if a `;` intervenes.
-fn find_body_open(stream: &Stream, s: usize, e: usize) -> Option<usize> {
+pub(crate) fn find_body_open(stream: &Stream, s: usize, e: usize) -> Option<usize> {
     let mut nest = 0i32;
     let mut i = s;
     while i < e {

@@ -1,0 +1,22 @@
+// lint-fixture-path: crates/core/src/fixture_a1.rs
+//! A1 fixture: per-iteration allocation inside a traced phase region —
+//! a fresh `Vec` is built and grown on every pass of a hot loop between
+//! the `Event::Enter` and `Event::Exit` markers (DESIGN.md §12).
+
+/// Every iteration allocates `scratch` from nothing and grows it: the
+/// allocator sits on the measured hot path of the `refine` phase.
+pub fn hot_phase(items: &[u32]) {
+    louvain_trace::emit_with(|| Event::Enter {
+        phase: "refine",
+        clock: 0.0,
+    });
+    for &it in items.iter() {
+        let mut scratch = Vec::new();
+        scratch.push(it);
+        consume(&scratch);
+    }
+    louvain_trace::emit_with(|| Event::Exit {
+        phase: "refine",
+        clock: 0.0,
+    });
+}

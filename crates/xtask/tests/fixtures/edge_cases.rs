@@ -1,0 +1,58 @@
+// lint-fixture-path: crates/core/src/fixture_edge_cases.rs
+//! Parser edge cases that must produce zero findings. Each function is a
+//! regression guard for a shape that once risked a false positive in the
+//! phase-graph / cost-graph token walkers: replicated `match` dispatch
+//! with per-arm collectives, a labeled `break 'outer` under an open
+//! exchange phase, and allocations confined to `emit_with` tracing
+//! closures.
+
+/// A `match` on a replicated mode whose arms run *different* collective
+/// sequences. Legal: the scrutinee is rank-uniform, so every rank takes
+/// the same arm — no R4 (arm-divergence is only a hazard under a
+/// rank-tainted condition) and no R2.
+pub fn replicated_match_dispatch(ctx: &mut Ctx, mode: Mode) -> f64 {
+    match mode {
+        Mode::Sum => ctx.allreduce_sum(1.0),
+        Mode::Max => ctx.allreduce_max(1.0),
+        Mode::Skip => 0.0,
+    }
+}
+
+/// A labeled escape from a nested Out-Table scan while an exchange phase
+/// is open. The `break 'outer` lands *before* the `finish`, so the phase
+/// is not leaked (no R1), and the sends stay bounded by the seeded
+/// tables (no M1).
+pub fn labeled_break_scan(ctx: &mut Ctx, out_table: &Table, out_srcs: &[u32]) {
+    let mut ex = ctx.exchange();
+    'outer: for (key, w) in out_table.iter() {
+        for &s in out_srcs.iter() {
+            if s == SENTINEL {
+                break 'outer;
+            }
+            ex.send(0, key);
+        }
+    }
+    ex.finish(|_| {});
+}
+
+/// Allocations inside `emit_with` closures are trace-only code — the
+/// closure never runs in a production build — so growing a debug buffer
+/// there must not trip A1, even though the closure sits at the head of a
+/// traced region.
+pub fn traced_with_closure_alloc(items: &[u32]) {
+    louvain_trace::emit_with(|| {
+        let mut dbg = Vec::new();
+        dbg.push(items.len());
+        Event::Enter {
+            phase: "scan",
+            clock: 0.0,
+        }
+    });
+    for &it in items.iter() {
+        consume(it);
+    }
+    louvain_trace::emit_with(|| Event::Exit {
+        phase: "scan",
+        clock: 0.0,
+    });
+}

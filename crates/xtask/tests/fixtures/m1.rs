@@ -1,0 +1,20 @@
+// lint-fixture-path: crates/core/src/fixture_m1.rs
+//! M1 fixture: collective payloads that classify `Unbounded` in the cost
+//! lattice — the shipped volume traces to no recognized solver quantity
+//! (DESIGN.md §12).
+
+/// The send rides a loop over a frontier the cost analysis has no bound
+/// for: not a seeded quantity, not a parameter, not a constant.
+pub fn flood_frontier(ctx: &mut Ctx) {
+    let mut ex = ctx.exchange();
+    for x in mystery_frontier.iter() {
+        ex.send(0, x);
+    }
+    ex.finish(|_| {});
+}
+
+/// The allgather ships a buffer whose size traces to nothing the
+/// analyzer recognizes.
+pub fn gather_scratch(ctx: &Ctx) -> Vec<f64> {
+    ctx.allgather_f64(&scratchpad)
+}

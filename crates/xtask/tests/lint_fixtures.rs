@@ -115,6 +115,26 @@ fn r5_fixture_fires() {
     assert_only_rule("r5.rs", Rule::R5);
 }
 
+#[test]
+fn m1_fixture_fires() {
+    assert_only_rule("m1.rs", Rule::M1);
+}
+
+#[test]
+fn a1_fixture_fires() {
+    assert_only_rule("a1.rs", Rule::A1);
+}
+
+/// Parser edge cases — replicated `match` dispatch with per-arm
+/// collectives, a labeled `break 'outer` under an open exchange phase,
+/// and allocations confined to `emit_with` tracing closures — must not
+/// produce false R4/M1/A1 (or any other) findings.
+#[test]
+fn edge_case_fixture_is_clean() {
+    let findings = lint_fixture("edge_cases.rs");
+    assert!(findings.is_empty(), "edge cases flagged: {findings:?}");
+}
+
 /// R4 must fire on *both* shapes in the fixture: the leader-only branch
 /// and the divergent early return.
 #[test]
@@ -218,7 +238,7 @@ fn cli_exits_nonzero_on_fixture_directory() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     for rule in [
-        "D1", "F1", "F2", "U1", "P1", "C1", "SUP", "R1", "R2", "R3", "R4", "R5", "T1",
+        "D1", "F1", "F2", "U1", "P1", "C1", "SUP", "R1", "R2", "R3", "R4", "R5", "T1", "M1", "A1",
     ] {
         assert!(stdout.contains(rule), "CLI report misses rule {rule}");
     }
@@ -282,6 +302,13 @@ fn cli_json_report_is_well_formed() {
             xtask::BENCH_SNAPSHOT_SCHEMA_VERSION
         )),
         "missing bench_snapshot_schema_version: {stdout}"
+    );
+    assert!(
+        stdout.contains(&format!(
+            "\"cost_spec_schema_version\": {}",
+            xtask::COST_SPEC_SCHEMA_VERSION
+        )),
+        "missing cost_spec_schema_version: {stdout}"
     );
 }
 

@@ -32,6 +32,13 @@ cargo run -q -p xtask -- lint
 echo "==> cargo run -q -p xtask -- protocol --check"
 cargo run -q -p xtask -- protocol --check
 
+# Cost-spec lockfile: the statically extracted per-site payload bounds
+# and multiplicities must byte-match results/cost_spec.json (DESIGN.md
+# §12). Runs in the quick gate too — volume regressions should fail the
+# PR, not the nightly.
+echo "==> cargo run -q -p xtask -- cost --check"
+cargo run -q -p xtask -- cost --check
+
 echo "==> cargo build --examples"
 cargo build --examples
 
