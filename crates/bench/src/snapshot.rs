@@ -30,7 +30,15 @@ use std::fmt::Write as _;
 /// measure a different protocol than v1 (plus new `delta_messages`,
 /// `dedup_hits`, `cache_invalidations` fields), so v1/v2 volumes must not
 /// be compared as if like-for-like.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: the local-move phase is frontier-scheduled — `find_best` work units
+/// charge `O(frontier)` instead of `O(n_local)` per iteration, so v2/v3
+/// phase breakdowns are not like-for-like. New fields:
+/// `frontier_active_vertices`, `frontier_reactivations`,
+/// `frontier_skipped_scans` (summed counters, DESIGN.md §13), and
+/// `frontier_occupancy` (first-level worklist size per inner iteration,
+/// summed across ranks).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Output path, relative to the working directory (the workspace root
 /// under `cargo run`).
@@ -463,6 +471,35 @@ fn workload_entry(name: &str, vertices: usize, r: &ParallelResult) -> Json {
         (
             "cache_invalidations".into(),
             Json::UInt(r.cache_invalidations),
+        ),
+        // Frontier-scheduling observables (schema v3, DESIGN.md §13):
+        // `frontier_active_vertices` is the find-best scan volume the
+        // cost spec bounds as `O(frontier)`; `frontier_skipped_scans` is
+        // the work the v2 full scan would have done on top of it (their
+        // sum is the old `O(n_local)` volume); `frontier_occupancy`
+        // tracks the first level's worklist drain, iteration by
+        // iteration — the worked table of DESIGN.md §13 reads off this
+        // array.
+        (
+            "frontier_active_vertices".into(),
+            Json::UInt(r.frontier.active_vertices),
+        ),
+        (
+            "frontier_reactivations".into(),
+            Json::UInt(r.frontier.reactivations),
+        ),
+        (
+            "frontier_skipped_scans".into(),
+            Json::UInt(r.frontier.skipped_scans),
+        ),
+        (
+            "frontier_occupancy".into(),
+            Json::Arr(
+                r.frontier_occupancy
+                    .iter()
+                    .map(|&o| Json::UInt(o))
+                    .collect(),
+            ),
         ),
         ("trace_events".into(), Json::UInt(trace_events)),
     ])

@@ -1,8 +1,8 @@
 //! Distributed label propagation — the related-work baseline.
 //!
 //! Half of the paper's Related Work section contrasts Louvain against
-//! label-propagation methods (Raghavan et al. [46]; Staudt & Meyerhenke
-//! [10]; Soman & Narang [45]; Ovelgönne [12]). This module implements
+//! label-propagation methods (Raghavan et al. \[46\]; Staudt & Meyerhenke
+//! \[10\]; Soman & Narang \[45\]; Ovelgönne \[12\]). This module implements
 //! synchronous weighted label propagation *on the same substrate* as the
 //! parallel Louvain solver — the 1D modulo partition, the In-Table scan,
 //! and the same state-propagation exchange — so the two algorithms can be

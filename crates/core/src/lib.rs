@@ -22,8 +22,10 @@
 //! * [`parallel`] — the paper's contribution: the distributed-memory
 //!   parallel Louvain built on hash-based In/Out tables
 //!   (Algorithms 2–5), the exponential-decay move threshold
-//!   ([`heuristic`], Equation 7), community state propagation, and
-//!   all-to-all graph reconstruction.
+//!   ([`heuristic`], Equation 7), community state propagation,
+//!   all-to-all graph reconstruction, and a frontier-scheduled
+//!   local-move phase ([`frontier`]) that scans only vertices whose
+//!   best-move decision could have changed.
 //!
 //! Shared pieces: the ΔQ kernel ([`dq`], Equation 4), hierarchy/result
 //! types ([`result`]), and per-phase timers ([`timing`], Figure 8).
@@ -31,6 +33,7 @@
 pub mod coarsen;
 pub mod dendrogram;
 pub mod dq;
+pub mod frontier;
 pub mod heuristic;
 pub mod labelprop;
 pub mod naive;
@@ -42,6 +45,7 @@ pub mod smp;
 pub mod timing;
 
 pub use dendrogram::Dendrogram;
+pub use frontier::FrontierStats;
 pub use heuristic::{EpsilonSchedule, ScheduleForm};
 pub use labelprop::{LabelPropConfig, LabelPropResult, LabelPropagation};
 pub use naive::{NaiveConfig, NaiveParallelLouvain};

@@ -24,7 +24,7 @@
 //! starts with identity labels, so no communication is needed), and each
 //! inner iteration thereafter broadcasts only `(vertex, new_community)`
 //! pairs for vertices that actually migrated. Receivers patch the
-//! persistent Out-Table through a per-level [`RemoteCache`] instead of
+//! persistent Out-Table through a per-level `RemoteCache` instead of
 //! rebuilding it: deltas are applied in sorted vertex order (never in
 //! delivery order), and row liveness is tracked structurally via
 //! per-row contributor counts — a vacated row is overwritten with exact
@@ -34,24 +34,42 @@
 //! the inner loop then terminates through the modularity collective
 //! that follows.
 //!
+//! The FIND BEST / UPDATE sweeps are **frontier-scheduled** (DESIGN.md
+//! §13): each rank keeps a scan frontier over its local vertices
+//! ([`crate::frontier`]), seeded with everyone at level start, and
+//! re-scans only vertices whose scan *inputs* could have changed —
+//! local neighbors of received state-propagation deltas (remote
+//! re-activation piggybacked on the §10 protocol via the `RemoteCache`
+//! transpose view) and vertices whose own or adjacent community changed
+//! in the replicated `Σ_tot`/size snapshots. Everyone else's cached
+//! `m_u`/`best` decision is bitwise what a fresh scan would compute, so
+//! an ε-throttled vertex waits on the *eligibility ledger* — reachable
+//! by the UPDATE sweep, but never re-scanned while its inputs hold
+//! still. A rank whose frontier drained skips the scan entirely; every
+//! collective stays outside the frontier conditionals, so lockstep is
+//! preserved and the output is bit-identical to the full scan at the
+//! default configuration.
+//!
 //! GRAPH RECONSTRUCTION (Algorithm 5) compacts surviving community ids,
 //! then turns the Out-Table into the next level's In-Table with a single
 //! all-to-all: entry `((u, c), w)` becomes message `((c'_new, c_new), w)`
 //! to the owner of `c_new` — "transforming the graph relabeling problem
 //! into an all-to-all communication with hashing".
 //!
-//! Determinism note: packet arrival order varies between runs. The
-//! persistent Out-Table is schedule-invariant for *arbitrary* weights
-//! (delta batches are sorted before application, and liveness is
-//! structural); the remaining per-phase accumulations (In-Table loading,
-//! `Σ_tot` updates, `Σ_in` shipping) are folded in delivery order and
-//! commute exactly only for exactly-representable sums — integer-valued
-//! weights, which every generator in this repo emits — while reductions
-//! fold in rank order. So runs are bit-reproducible on the benchmark
-//! workloads, and correct (same live rows, rounding-level noise only)
-//! for general weights.
+//! Determinism note: packet arrival order varies between runs, so every
+//! floating-point accumulation over received messages is made a function
+//! of the message *multiset* — the persistent Out-Table sorts delta
+//! batches before application (with structural liveness), and the
+//! In-Table loading, `Σ_tot` update, `Σ_in`, and reconstruction
+//! accumulations buffer and sort their contributions before folding,
+//! while reductions fold in rank order. Runs are therefore
+//! bit-reproducible for *arbitrary* weights, not just the
+//! integer-valued ones the generators emit — which is what lets the
+//! frontier/full-scan equivalence (DESIGN.md §13) be asserted bitwise
+//! on mixed-magnitude inputs.
 
 use crate::dq;
+use crate::frontier::{Frontier, FrontierStats};
 use crate::heuristic::EpsilonSchedule;
 use crate::result::{LevelInfo, LouvainResult};
 use crate::timing::{
@@ -65,7 +83,7 @@ use louvain_runtime::{
     run_with_config_logged, CollectiveKind, CommStats, Exchange, RankCtx, RuntimeConfig,
 };
 use louvain_trace::{Event, RankTrace};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 
 /// 16-byte POD message: two ids and a weight. The meaning of `(a, b, w)`
@@ -81,6 +99,25 @@ pub struct Msg {
 }
 
 /// Configuration of the distributed solver.
+///
+/// The default configuration reproduces the paper's algorithm with the
+/// frontier-scheduled local-move phase (DESIGN.md §13) producing output
+/// bit-identical to a full scan:
+///
+/// ```
+/// use louvain_core::parallel::ParallelConfig;
+///
+/// let cfg = ParallelConfig::with_ranks(8);
+/// assert_eq!(cfg.min_gain_threshold, 0.0); // bit-identical to the full scan
+/// assert!(!cfg.full_rescan); // frontier scheduling on
+///
+/// // Trade a little quality for fewer sweeps: ignore gains below 1e-6.
+/// let coarse = ParallelConfig {
+///     min_gain_threshold: 1e-6,
+///     ..ParallelConfig::with_ranks(8)
+/// };
+/// assert!(coarse.min_gain_threshold > cfg.min_gain_threshold);
+/// ```
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ParallelConfig {
     /// Simulated ranks (compute nodes).
@@ -132,6 +169,25 @@ pub struct ParallelConfig {
     /// this to prove the volume verifier rejects the regression
     /// (DESIGN.md §12).
     pub v1_state_rebuild: bool,
+    /// Minimum modularity gain a vertex must see before it may migrate —
+    /// and before it is kept on the eligibility ledger between scans
+    /// (DESIGN.md §13). The default `0.0` keeps the exact semantics of
+    /// the unscheduled algorithm (`m_u > 0` moves), so solver output is
+    /// bit-identical to the seed behavior. A positive threshold prunes
+    /// near-zero-gain churn: vertices whose best gain never exceeds it
+    /// drop off the ledger, trading a bounded amount of modularity
+    /// (at most `threshold` per suppressed move) for fewer moves and
+    /// deltas. Gains below the threshold still enter the ε-histogram —
+    /// the knob composes with, and is applied after, the Equation-7
+    /// schedule.
+    pub min_gain_threshold: f64,
+    /// Ablation knob: when `true`, every vertex is re-activated every
+    /// iteration, reducing the frontier scheduler to the full scan the
+    /// paper describes. Output is bit-identical either way (the frontier
+    /// invariant of DESIGN.md §13); only the scan work and the
+    /// `frontier.*` counters differ. The property tests compare the two
+    /// paths across perturb seeds on mixed-magnitude weighted graphs.
+    pub full_rescan: bool,
 }
 
 impl Default for ParallelConfig {
@@ -152,6 +208,8 @@ impl Default for ParallelConfig {
             perturb_seed: None,
             record_protocol: false,
             v1_state_rebuild: false,
+            min_gain_threshold: 0.0,
+            full_rescan: false,
         }
     }
 }
@@ -221,6 +279,18 @@ pub struct ParallelResult {
     /// enforces lockstep), and the sequence must be accepted by the
     /// static protocol spec of DESIGN.md §11.
     pub protocol_logs: Vec<Vec<CollectiveKind>>,
+    /// Frontier-scheduling counters, summed across ranks, levels and
+    /// inner iterations: vertices scanned, vertices re-activated by a
+    /// wake rule, and vertex scans skipped versus the full-scan
+    /// schedule (DESIGN.md §13). `active_vertices + skipped_scans` is
+    /// exactly the full scan's work, so the saving is directly readable.
+    pub frontier: FrontierStats,
+    /// Frontier occupancy of the **first level**, one entry per inner
+    /// iteration, summed across ranks: how many vertices the FIND BEST
+    /// sweep visited in that iteration (iteration 1 is the whole vertex
+    /// set). Schedule-invariant, so it is safe to snapshot
+    /// (`BENCH_louvain.json` carries it per workload).
+    pub frontier_occupancy: Vec<u64>,
 }
 
 impl ParallelResult {
@@ -337,6 +407,19 @@ struct RemoteCache {
     /// overwrites the residue with exact 0.0 to keep the consumers'
     /// `w != 0.0` sentinel sound for arbitrary weights.
     counts: EdgeTable,
+    /// Live Out-Table rows as `(local vertex, community)` (global ids),
+    /// kept in lockstep with [`Self::counts`]: a row is present exactly
+    /// while its contributor count is positive. The frontier-scheduled
+    /// FIND BEST sweep enumerates an active vertex's candidate
+    /// communities with a range query over this set — in ascending
+    /// community order, deterministically — instead of sweeping the
+    /// whole Out-Table (DESIGN.md §13).
+    vert_adj: BTreeSet<(u32, u32)>,
+    /// Transpose of [`Self::vert_adj`]: `(community, local vertex)`.
+    /// Serves the snapshot-diff wake rule — a bitwise change in a
+    /// community's replicated `Σ_tot`/size entry re-activates every
+    /// local vertex holding a live row into it.
+    comm_adj: BTreeSet<(u32, u32)>,
 }
 
 impl RemoteCache {
@@ -388,8 +471,14 @@ impl RemoteCache {
         // At the identity labelling every Out-Table row (d, s) has
         // exactly one contributor: the In-Table entry (s, d).
         let mut counts = EdgeTable::new(triples.len().max(8));
+        // The adjacency views start at the same identity rows: Out-Table
+        // row (d, s) is live for every In-Table entry (s, d).
+        let mut vert_adj: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let mut comm_adj: BTreeSet<(u32, u32)> = BTreeSet::new();
         for &(s, d, _) in &triples {
             counts.accumulate(pack_key(d, s), 1.0);
+            vert_adj.insert((d, s));
+            comm_adj.insert((s, d));
         }
         Self {
             srcs,
@@ -399,6 +488,8 @@ impl RemoteCache {
             out_offsets,
             out_srcs,
             counts,
+            vert_adj,
+            comm_adj,
         }
     }
 
@@ -416,7 +507,12 @@ impl RemoteCache {
     /// new one's, and a row whose count reaches zero has its weight
     /// overwritten with exact 0.0 rather than trusting `+w`/`-w` FP
     /// cancellation — see the field docs and DESIGN.md §10.
-    fn apply_deltas(&mut self, out_table: &mut EdgeTable, deltas: &mut [(u32, u32)]) {
+    fn apply_deltas(
+        &mut self,
+        out_table: &mut EdgeTable,
+        deltas: &mut [(u32, u32)],
+        dirty: &mut Vec<(u32, u32)>,
+    ) {
         deltas.sort_unstable();
         for &(u, c_new) in deltas.iter() {
             // Only owners of neighbors of `u` receive its delta, so the
@@ -435,18 +531,43 @@ impl RemoteCache {
                 self.counts.accumulate(old_key, -1.0);
                 let remaining = self.counts.get(old_key).unwrap_or(0.0);
                 debug_assert!(remaining >= 0.0, "contributor count went negative");
+                // Every row whose stored weight changes *bitwise* is
+                // reported as `(vertex, community)` for wake rule W1: the
+                // find-best inputs the snapshot-diff rule W2 cannot see
+                // are exactly the row weights, and this is the one place
+                // that knows precisely which rows moved. (W2's diff can
+                // even be blind to the whole migration: a community that
+                // loses one vertex and gains another of bitwise-equal
+                // degree has `Σ_tot` and size land back on identical
+                // bits.) Deltas are applied in sorted order, so the dirty
+                // list is a function of the delta set —
+                // schedule-invariant like every other wake source.
+                let before = out_table.get(old_key).unwrap_or(0.0);
                 #[allow(clippy::float_cmp)]
                 // lint: allow(F1) — contributor counts are exact small-integer-valued f64s
                 if remaining == 0.0 {
                     // Last contributor left: kill the residue exactly
-                    // (x + (-x) == +0.0 for every finite x).
-                    let residue = out_table.get(old_key).unwrap_or(0.0);
-                    out_table.accumulate(old_key, -residue);
+                    // (x + (-x) == +0.0 for every finite x), and retire
+                    // the row from both adjacency views.
+                    out_table.accumulate(old_key, -before);
+                    self.vert_adj.remove(&(d, c_old));
+                    self.comm_adj.remove(&(c_old, d));
                 } else {
                     out_table.accumulate(old_key, -w);
                 }
+                if before.to_bits() != out_table.get(old_key).unwrap_or(0.0).to_bits() {
+                    dirty.push((d, c_old));
+                }
                 self.counts.accumulate(new_key, 1.0);
+                // Row birth and survival are both plain set inserts — the
+                // sets mirror `counts > 0` without any float compare.
+                self.vert_adj.insert((d, c_new));
+                self.comm_adj.insert((c_new, d));
+                let before = out_table.get(new_key).unwrap_or(0.0);
                 out_table.accumulate(new_key, w);
+                if before.to_bits() != out_table.get(new_key).unwrap_or(0.0).to_bits() {
+                    dirty.push((d, c_new));
+                }
             }
         }
     }
@@ -473,6 +594,10 @@ struct RankOutput {
     /// Remote-state caches discarded because reconstruction replaced the
     /// In-Table they indexed.
     cache_invalidations: u64,
+    /// This rank's frontier counters, summed over levels and iterations.
+    frontier: FrontierStats,
+    /// This rank's first-level frontier occupancy per inner iteration.
+    frontier_occupancy: Vec<u64>,
     trace: Option<RankTrace>,
 }
 
@@ -595,6 +720,17 @@ impl ParallelLouvain {
         let syncs = rank_outputs[0].syncs;
         let bytes_sent = rank_outputs.iter().map(|r| r.bytes_sent).sum();
         let cache_invalidations = rank_outputs.iter().map(|r| r.cache_invalidations).sum();
+        let frontier = rank_outputs
+            .iter()
+            .fold(FrontierStats::default(), |acc, r| acc.sum(&r.frontier));
+        // Iterations are global lockstep, so every rank recorded the same
+        // number of first-level occupancy entries; fold element-wise.
+        let mut frontier_occupancy = vec![0u64; rank_outputs[0].frontier_occupancy.len()];
+        for r in &rank_outputs {
+            for (acc, &v) in frontier_occupancy.iter_mut().zip(&r.frontier_occupancy) {
+                *acc += v;
+            }
+        }
         let traces: Vec<RankTrace> = rank_outputs
             .iter_mut()
             .filter_map(|r| r.trace.take())
@@ -622,6 +758,8 @@ impl ParallelLouvain {
             cache_invalidations,
             traces,
             protocol_logs,
+            frontier,
+            frontier_occupancy,
         }
     }
 }
@@ -672,6 +810,8 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
     let mut first_level_time = Duration::ZERO;
     let mut sim_first_level_units = 0.0f64;
     let mut cache_invalidations = 0u64;
+    let mut frontier_stats = FrontierStats::default();
+    let mut frontier_occupancy: Vec<u64> = Vec::new();
 
     for level_idx in 0..cfg.max_levels {
         let level_start = Stopwatch::start();
@@ -702,6 +842,12 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
             &mut sim,
             if record_inner {
                 Some(&mut inner_timings)
+            } else {
+                None
+            },
+            &mut frontier_stats,
+            if record_inner {
+                Some(&mut frontier_occupancy)
             } else {
                 None
             },
@@ -783,6 +929,21 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
         name: "runtime.dedup_hits",
         value: ctx.dedup_hits(),
     });
+    // Frontier-scheduling counters (DESIGN.md §13). All three are
+    // rank-local program-order tallies over schedule-invariant wake
+    // sets, so the trace contract of §9 holds.
+    louvain_trace::emit_with(|| Event::Count {
+        name: "frontier.active_vertices",
+        value: frontier_stats.active_vertices,
+    });
+    louvain_trace::emit_with(|| Event::Count {
+        name: "frontier.reactivations",
+        value: frontier_stats.reactivations,
+    });
+    louvain_trace::emit_with(|| Event::Count {
+        name: "frontier.skipped_scans",
+        value: frontier_stats.skipped_scans,
+    });
     RankOutput {
         orig_comm,
         levels,
@@ -798,6 +959,8 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
         syncs: ctx.sync_count(),
         bytes_sent: ctx.bytes_sent(),
         cache_invalidations,
+        frontier: frontier_stats,
+        frontier_occupancy,
         trace: louvain_trace::take(),
     }
 }
@@ -898,9 +1061,15 @@ fn build_initial_level_distributed(
                 );
             }
         }
-        ex.finish(|m| {
-            in_table.accumulate(pack_key(m.a, m.b), m.w);
-        });
+        // Sorted application, for the same reason as reconstruction: the
+        // table (weights and slot layout alike) must be a function of the
+        // routed arc multiset, never of the delivery interleaving.
+        let mut arcs: Vec<(u64, u64)> = Vec::new();
+        ex.finish(|m| arcs.push((pack_key(m.a, m.b), m.w.to_bits())));
+        arcs.sort_unstable();
+        for &(key, w_bits) in &arcs {
+            in_table.accumulate(key, f64::from_bits(w_bits));
+        }
     }
     let mut k = vec![0.0f64; local_n];
     for (key, w) in in_table.iter() {
@@ -974,6 +1143,7 @@ fn propagate_deltas(
     cache: &mut RemoteCache,
     out_table: &mut EdgeTable,
     migrated: &[(u32, u32)],
+    frontier: &mut Frontier,
     v1_state_rebuild: bool,
 ) {
     let part = lvl.part;
@@ -1001,7 +1171,20 @@ fn propagate_deltas(
     // the delta *set*, not of the (perturbable) delivery order.
     let mut deltas: Vec<(u32, u32)> = Vec::new();
     ex.finish(|m| deltas.push((m.a, m.b)));
-    cache.apply_deltas(out_table, &mut deltas);
+    // Wake rule W1 — remote re-activation, piggybacked on the deltas
+    // (DESIGN.md §13): a received `(u, c_new)` that changes `u`'s cached
+    // label patches the Out-Table rows of `u`'s local neighbors. The
+    // patcher reports every row whose stored weight changed bitwise, and
+    // those `(vertex, candidate)` pairs are handed to the frontier; the
+    // next snapshot-diff pass classifies each into a full re-scan (own
+    // row or cached winner touched) or an O(1) scan patch. No-op
+    // announcements (the v1 full rebuild re-sends unmoved labels) patch
+    // no rows and dirty nothing, so both ablations schedule identically.
+    let mut dirty: Vec<(u32, u32)> = Vec::new();
+    cache.apply_deltas(out_table, &mut deltas, &mut dirty);
+    for &(d, c) in &dirty {
+        frontier.mark_row_dirty(part.local_index(d), c);
+    }
 }
 
 /// Gathers a replicated snapshot (global community id → value) from each
@@ -1022,8 +1205,99 @@ fn gather_snapshot(ctx: &RankCtx<'_, Msg>, lvl: &RankLevel, local: &[f64]) -> Ve
     global
 }
 
-/// The inner loop (Algorithm 4). Returns (final modularity, iterations,
-/// per-iteration global move fractions).
+/// The `(gain, community)` lexicographic order of the best-move fold:
+/// `total_cmp` on the gain, larger community id breaking exact ties.
+/// Community ids are distinct within one vertex's candidate set, so this
+/// is a strict total order and the fold is order-independent.
+#[inline]
+fn lex_gt(g1: f64, c1: u32, g2: f64, c2: u32) -> bool {
+    match g1.total_cmp(&g2) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Equal => c1 > c2,
+        std::cmp::Ordering::Less => false,
+    }
+}
+
+/// Depth of the per-vertex candidate summary kept for the patch pass.
+const SUMMARY_K: usize = 4;
+
+/// Exact-prefix candidate summary (DESIGN.md §13). Invariant: the first
+/// `v` slots of `e` are, in descending `(gain, id)` lexicographic order,
+/// *exactly* the top `v` contributing entries of the vertex's cached
+/// best-move fold (the sentinel `(0.0, c_u)` included), and every other
+/// contributing entry is lexicographically ≤ `bound`. A full scan fills
+/// the whole prefix; a patch group re-folds the changed entries together
+/// with the surviving prefix and keeps however much of the result still
+/// clears the bound — so winner demotions resolve in O(group) as long as
+/// the churn has not eaten through the whole prefix, and only then does
+/// the vertex escalate to a full re-scan.
+#[derive(Clone, Copy)]
+struct CandSummary {
+    e: [(f64, u32); SUMMARY_K],
+    v: u8,
+    bound: (f64, u32),
+}
+
+impl CandSummary {
+    fn empty() -> Self {
+        Self {
+            e: [(f64::NEG_INFINITY, 0); SUMMARY_K],
+            v: 0,
+            bound: (f64::NEG_INFINITY, 0),
+        }
+    }
+
+    /// The summary of a vertex with no contributing candidates at all:
+    /// the fold is the sentinel constant and nothing is hiding below it.
+    fn sentinel_only(c_u: u32) -> Self {
+        let mut s = Self::empty();
+        s.e[0] = (0.0, c_u);
+        s.v = 1;
+        s
+    }
+
+    /// Sorted insert of one contributing entry. Entry ids are distinct,
+    /// so the `(gain, id)` order is strict and the fold result does not
+    /// depend on the fold order. Entries pushed off the bottom are
+    /// ≤ the final last slot, which `seal`/the patch pass fold into the
+    /// bound.
+    #[inline]
+    fn fold(&mut self, g: f64, c: u32) {
+        let filled = self.v as usize;
+        let mut i = 0;
+        while i < filled {
+            if lex_gt(g, c, self.e[i].0, self.e[i].1) {
+                break;
+            }
+            i += 1;
+        }
+        if i < SUMMARY_K {
+            let upto = filled.min(SUMMARY_K - 1);
+            for j in (i..upto).rev() {
+                self.e[j + 1] = self.e[j];
+            }
+            self.e[i] = (g, c);
+            if filled < SUMMARY_K {
+                self.v = (filled + 1) as u8;
+            }
+        }
+    }
+
+    /// Closes a full-scan fold: every entry was enumerated, so the
+    /// prefix is exact and anything pushed off the bottom is bounded by
+    /// the last slot.
+    fn seal(&mut self) {
+        self.bound = if (self.v as usize) == SUMMARY_K {
+            self.e[SUMMARY_K - 1]
+        } else {
+            (f64::NEG_INFINITY, 0)
+        };
+    }
+}
+
+/// The inner loop (Algorithm 4), frontier-scheduled (DESIGN.md §13).
+/// Returns (final modularity, iterations, per-iteration global move
+/// fractions).
 #[allow(clippy::too_many_arguments)]
 fn refine(
     ctx: &mut RankCtx<'_, Msg>,
@@ -1036,12 +1310,29 @@ fn refine(
     comm: &mut CommBreakdown,
     sim: &mut SimBreakdown,
     mut inner_timings: Option<&mut Vec<InnerIterationTiming>>,
+    frontier_stats: &mut FrontierStats,
+    mut occupancy: Option<&mut Vec<u64>>,
 ) -> (f64, usize, Vec<f64>, Vec<f64>) {
     let rank = ctx.rank();
     let local_n = lvl.part.local_count(rank);
     let mut m_u = vec![0.0f64; local_n];
     let mut best = vec![0u32; local_n];
-    let mut remove_cache = vec![0.0f64; local_n];
+    // Exact-prefix candidate summaries for the patch pass (DESIGN.md
+    // §13): the top `SUMMARY_K` entries of each vertex's cached lexmax
+    // fold, plus a bound on everything below them. A demotion of the
+    // cached winner resolves in O(group) against the surviving prefix;
+    // only when patch churn has pushed every known entry under the bound
+    // does the vertex escalate to a full re-scan.
+    let mut summ = vec![CandSummary::empty(); local_n];
+    // The scheduler and the previous iteration's replicated snapshots
+    // (for the bitwise diff of wake rule W2). Vertices off the scan
+    // frontier keep their *cached* `m_u`/`best` — every input of their
+    // last scan is bitwise unchanged (else a wake rule would have fired),
+    // so the untouched entries still feed `compute_threshold` and the
+    // UPDATE sweep the exact values a full rescan would produce.
+    let mut frontier = Frontier::new(local_n, lvl.n);
+    let mut prev_tot: Vec<f64> = Vec::new();
+    let mut prev_size: Vec<f64> = Vec::new();
     let mut fractions = Vec::new();
     let mut q_trace = Vec::new();
     let mut q_prev = f64::NEG_INFINITY;
@@ -1077,70 +1368,243 @@ fn refine(
             it_timing.state_propagation += prop0;
         }
 
-        // --- FIND BEST COMMUNITY ---
+        // --- FIND BEST COMMUNITY (frontier-scheduled, DESIGN.md §13) ---
         let t_find = Stopwatch::start();
         let tot_snap = gather_snapshot(ctx, lvl, &lvl.tot);
         let size_local: Vec<f64> = lvl.size.iter().map(|&x| f64::from(x)).collect();
         let size_snap = gather_snapshot(ctx, lvl, &size_local);
-        for li in 0..local_n {
-            m_u[li] = 0.0;
-            best[li] = lvl.label[li];
+        // Commit this iteration's scan worklist. Iteration 1 seeds the
+        // whole vertex set (as does the `full_rescan` ablation);
+        // afterwards the pending set holds wake rule W1 (delta piggyback,
+        // added during the previous propagation), and wake rule W2 adds
+        // everyone whose own or adjacent community changed bitwise in
+        // the replicated snapshots. Vertices woken by neither rule have
+        // every FIND BEST input bitwise unchanged since their last scan,
+        // so their cached `m_u`/`best` is already the answer. All
+        // collectives stay outside frontier conditionals, so a drained
+        // rank skips work, never a collective.
+        if iter == 1 || cfg.full_rescan {
+            frontier.wake_all();
+        } else {
+            frontier.wake_snapshot_changes(
+                &prev_tot,
+                &tot_snap,
+                &prev_size,
+                &size_snap,
+                &lvl.label,
+                &cache.vert_adj,
+                &cache.comm_adj,
+                |li| lvl.part.global(rank, li),
+                |d| lvl.part.local_index(d),
+            );
+        }
+        // --- Scan patches (DESIGN.md §13) ---
+        // Runs *before* `commit`: a vertex promoted to a full re-scan —
+        // by a wake rule above or by the winner escalation below — sits
+        // in the pending set, and `is_pending` supersedes its patches.
+        // Each surviving patch re-folds one changed candidate entry over
+        // the cached incumbent instead of re-scanning every row. The
+        // result is bitwise equal to a full re-scan: the cached
+        // `(m_u, best)` is the f64 lexmax (`total_cmp`, larger-id
+        // tie-break) over the previous entry set, and every entry
+        // outside the patch group is bitwise unchanged (rows by W1,
+        // snapshots by W2, label/`a_uu`/`k`/own-row by the self-wake and
+        // own-row rules — any of those firing makes the vertex pending).
+        // Two cases per group:
+        //   * the cached winner's own entry changed: recompute its gain
+        //     g'. If g' ≥ cached `m_u` (`total_cmp`), no unchanged entry
+        //     can overtake it — O(1) winner update (on Equal the id
+        //     tie-break keeps the incumbent: every equal-gain unchanged
+        //     entry lost the tie to `b0` before, so it has a smaller
+        //     id). If g' < `m_u`, or the entry is now skipped entirely
+        //     (dead row, singleton guard), the cached max is invalidated
+        //     and the vertex escalates to a full re-scan.
+        //   * a non-winning entry changed: removing a non-argmax entry
+        //     from a lexmax leaves it intact, so folding the entry's
+        //     *new* value over the cached incumbent is exact.
+        let mut rows_patched = 0usize;
+        let mut pi = 0;
+        while pi < frontier.patches.len() {
+            let lv = frontier.patches[pi].0;
+            let li = lv as usize;
+            let mut pj = pi;
+            while pj < frontier.patches.len() && frontier.patches[pj].0 == lv {
+                pj += 1;
+            }
+            if !frontier.is_pending(li) {
+                let u = lvl.part.global(rank, li);
+                let c_u = lvl.label[li];
+                let a_uu = lvl.in_table.get(pack_key(u, u)).unwrap_or(0.0);
+                let w_own = out_table.get(pack_key(u, c_u)).unwrap_or(0.0) - a_uu;
+                let remove_u = dq::remove_gain(w_own, lvl.k[li], tot_snap[c_u as usize], s);
+                // Fold the *known-exact* entries into a fresh summary:
+                // the sentinel `(0.0, c_u)`, each patched candidate's
+                // freshly recomputed entry, and every cached prefix
+                // entry whose candidate is not in the group (unchanged,
+                // so its cached value is still bitwise what a re-scan
+                // would compute). Every entry outside this fold is
+                // lexicographically ≤ the cached bound, so the fold's
+                // max is the true new max whenever it reaches the bound
+                // — and only when it falls short (the new maximum may
+                // hide among the unchanged candidates) does the vertex
+                // escalate to a full re-scan.
+                let old = summ[li];
+                let mut f = CandSummary::empty();
+                f.fold(0.0, c_u);
+                for px in pi..pj {
+                    let c_new = frontier.patches[px].1;
+                    debug_assert_ne!(c_new, c_u);
+                    rows_patched += 1;
+                    let w = out_table.get(pack_key(u, c_new)).unwrap_or(0.0);
+                    #[allow(clippy::float_cmp)]
+                    // lint: allow(F1) — parity with the dead-row sentinel of the delta patcher
+                    if w == 0.0 {
+                        continue; // entry removed: contributes nothing
+                    }
+                    let sz_new = size_snap[c_new as usize];
+                    let sz_u = size_snap[c_u as usize];
+                    #[allow(clippy::float_cmp)]
+                    // lint: allow(F1) — community sizes are exact small-integer-valued f64 counters
+                    let singles = sz_new == 1.0 && sz_u == 1.0;
+                    if cfg.use_heuristic && singles && c_new > c_u {
+                        continue; // guard-skipped: contributes nothing
+                    }
+                    let gain =
+                        remove_u + dq::insert_gain(w, lvl.k[li], tot_snap[c_new as usize], s);
+                    f.fold(gain, c_new);
+                }
+                for i in 0..old.v as usize {
+                    let (g, c) = old.e[i];
+                    // The sentinel is already the fold's seed; a prefix
+                    // entry is unchanged iff it has no patch in the
+                    // group (ids are distinct, groups are small).
+                    if c != c_u && !(pi..pj).any(|px| frontier.patches[px].1 == c) {
+                        f.fold(g, c);
+                    }
+                }
+                // Resolution: a `-∞` bound means the cached fold
+                // enumerated every contributing entry, so nothing is
+                // hiding below the prefix.
+                let bounded = old.bound.0.is_finite();
+                if bounded && lex_gt(old.bound.0, old.bound.1, f.e[0].0, f.e[0].1) {
+                    frontier.wake(li);
+                } else {
+                    // The fold entries that clear the bound are exactly
+                    // the top of the new entry set (no hidden entry can
+                    // interleave above them — pairs are unique, so a
+                    // hidden entry equal to the bound still loses to a
+                    // fold entry at the bound). Entries below stay
+                    // covered: hidden ones by the old bound, fold
+                    // overflow by the last slot when the prefix is full.
+                    if bounded {
+                        let filled = f.v as usize;
+                        f.v = (0..filled)
+                            .take_while(|&i| !lex_gt(old.bound.0, old.bound.1, f.e[i].0, f.e[i].1))
+                            .count() as u8;
+                    }
+                    f.bound = if (f.v as usize) == SUMMARY_K {
+                        f.e[SUMMARY_K - 1]
+                    } else {
+                        old.bound
+                    };
+                    m_u[li] = f.e[0].0;
+                    best[li] = f.e[0].1;
+                    summ[li] = f;
+                    // A patch fold keeps the cached decision exact, so
+                    // eligibility routes through the ledger as usual.
+                    frontier.set_eligible(li, m_u[li] > cfg.min_gain_threshold);
+                }
+            }
+            pi = pj;
+        }
+        frontier.commit(iter == 1);
+        if let Some(occ) = occupancy.as_deref_mut() {
+            occ.push(frontier.worklist.len() as u64);
+        }
+        prev_tot.clone_from(&tot_snap);
+        prev_size.clone_from(&size_snap);
+        let mut rows_scanned = 0usize;
+        // Index loop instead of a worklist iterator: the scan updates the
+        // eligibility ledger of the same frontier mid-iteration.
+        for wi in 0..frontier.worklist.len() {
+            let li = frontier.worklist[wi] as usize;
             let u = lvl.part.global(rank, li);
             let c_u = lvl.label[li];
+            let mut cs = CandSummary::empty();
+            cs.fold(0.0, c_u);
             let a_uu = lvl.in_table.get(pack_key(u, u)).unwrap_or(0.0);
             let w_own = out_table.get(pack_key(u, c_u)).unwrap_or(0.0) - a_uu;
-            remove_cache[li] = dq::remove_gain(w_own, lvl.k[li], tot_snap[c_u as usize], s);
-        }
-        for (key, w) in out_table.iter() {
-            // Rows whose last contributor left are *structurally* zeroed
-            // by the delta patcher (`RemoteCache::apply_deltas` tracks a
-            // per-row contributor count and overwrites the residue with
-            // exact 0.0), so this sentinel is sound for arbitrary f64
-            // weights — a dead row must never look like a real candidate
-            // community.
-            #[allow(clippy::float_cmp)]
-            // lint: allow(F1) — dead rows are structurally set to exact 0.0 by the delta patcher
-            if w == 0.0 {
-                continue;
-            }
-            let (u, c_new) = unpack_key(key);
-            let li = lvl.part.local_index(u);
-            let c_u = lvl.label[li];
-            if c_new == c_u {
-                continue;
-            }
-            // Singleton swap guard (minimum-label rule): two singleton
-            // communities deciding to join each other simultaneously would
-            // swap forever on stale state; only the higher-labelled one
-            // may move. Standard symmetric-oscillation breaker for
-            // synchronous Louvain (cf. Lu et al., Grappolo); complements
-            // the paper's ε threshold, which throttles volume but cannot
-            // break exact two-cycles. Part of the convergence machinery,
-            // so disabled in the no-heuristic ablation.
-            #[allow(clippy::float_cmp)]
-            // lint: allow(F1) — community sizes are exact small-integer-valued f64 counters
-            let singles = size_snap[c_new as usize] == 1.0 && size_snap[c_u as usize] == 1.0;
-            if cfg.use_heuristic && singles && c_new > c_u {
-                continue;
-            }
-            let gain =
-                remove_cache[li] + dq::insert_gain(w, lvl.k[li], tot_snap[c_new as usize], s);
-            // Candidate order follows EdgeTable iteration order, which
-            // follows message delivery order — so equal-gain ties must be
-            // broken on community id, not arrival order, for the result
-            // to be schedule-independent (see the perturbation harness).
-            match gain.total_cmp(&m_u[li]) {
-                std::cmp::Ordering::Greater => {
-                    m_u[li] = gain;
-                    best[li] = c_new;
+            let remove_u = dq::remove_gain(w_own, lvl.k[li], tot_snap[c_u as usize], s);
+            // Candidate communities are exactly the live Out-Table rows
+            // of `u`, enumerated in ascending community order from the
+            // cache's adjacency view — the same candidate set the old
+            // whole-table sweep visited, in a deterministic order.
+            for &(_, c_new) in cache.vert_adj.range((u, 0)..=(u, u32::MAX)) {
+                rows_scanned += 1;
+                if c_new == c_u {
+                    continue;
                 }
-                std::cmp::Ordering::Equal if c_new > best[li] => best[li] = c_new,
-                _ => {}
+                let w = out_table.get(pack_key(u, c_new)).unwrap_or(0.0);
+                // A live row's accumulated weight can still round to
+                // exactly 0.0 under mixed-magnitude cancellation; the
+                // unscheduled sweep skipped such rows (they are
+                // indistinguishable from structurally dead ones there),
+                // so the frontier path must skip them too for bit parity.
+                #[allow(clippy::float_cmp)]
+                // lint: allow(F1) — parity with the dead-row sentinel of the delta patcher
+                if w == 0.0 {
+                    continue;
+                }
+                // Singleton swap guard (minimum-label rule): two singleton
+                // communities deciding to join each other simultaneously would
+                // swap forever on stale state; only the higher-labelled one
+                // may move. Standard symmetric-oscillation breaker for
+                // synchronous Louvain (cf. Lu et al., Grappolo); complements
+                // the paper's ε threshold, which throttles volume but cannot
+                // break exact two-cycles. Part of the convergence machinery,
+                // so disabled in the no-heuristic ablation.
+                #[allow(clippy::float_cmp)]
+                // lint: allow(F1) — community sizes are exact small-integer-valued f64 counters
+                let singles = size_snap[c_new as usize] == 1.0 && size_snap[c_u as usize] == 1.0;
+                if cfg.use_heuristic && singles && c_new > c_u {
+                    continue;
+                }
+                let gain = remove_u + dq::insert_gain(w, lvl.k[li], tot_snap[c_new as usize], s);
+                // The best move is the lexicographic max over
+                // (gain, community id) — order-independent, so the
+                // adjacency-view order and the old arrival-dependent
+                // table order select the identical candidate (the
+                // id tie-break the perturbation harness forced).
+                // Demoted entries cascade down the summary, keeping the
+                // exact top-`SUMMARY_K` of the fold for the patch pass
+                // (`total_cmp` Equal means identical bits, so the
+                // equal-gain promote leaves the max unchanged).
+                cs.fold(gain, c_new);
             }
+            cs.seal();
+            m_u[li] = cs.e[0].0;
+            best[li] = cs.e[0].1;
+            summ[li] = cs;
+            // Eligibility ledger: a vertex that still sees a worthwhile
+            // gain may merely be ε-throttled this sweep — it can migrate
+            // in a later iteration with *no* further input change, so it
+            // must stay reachable by the UPDATE sweep. Re-scanning it
+            // would be waste, though: with unchanged inputs the cached
+            // decision is already exact, so the ledger — not the scan
+            // frontier — carries it forward.
+            frontier.set_eligible(li, m_u[li] > cfg.min_gain_threshold);
         }
-        // Local compute charge: one unit per scanned Out-Table entry plus
-        // one per local vertex (the remove-gain pass).
-        ctx.charge((out_table.len() + local_n) as f64 * cfg.charge_per_message);
+        // The UPDATE sweep below consumes the rebuilt (ascending)
+        // eligible list: freshly scanned vertices contribute their new
+        // verdict, unscanned ones their sticky — and still exact — one.
+        frontier.commit_eligible();
+        // Local compute charge: one unit per candidate row scanned or
+        // patched plus one per active vertex (the remove-gain pass). The
+        // frontier is schedule-invariant, so the charge — and the
+        // simulated clock — remain deterministic.
+        ctx.charge(
+            (rows_scanned + rows_patched + frontier.worklist.len()) as f64 * cfg.charge_per_message,
+        );
         timers.add(Phase::FindBestCommunity, t_find.elapsed());
         it_timing.find_best = t_find.elapsed();
 
@@ -1176,8 +1640,18 @@ fn refine(
             let k = &lvl.k;
             let in_table = &lvl.in_table;
             let mut ex = ctx.exchange();
-            for li in 0..local_n {
-                if m_u[li] > 0.0 && m_u[li] >= threshold {
+            // Movers are a subset of the eligibility ledger (by
+            // construction: eligible ⟺ cached `m_u` clears the
+            // threshold), and the eligible list is ascending — so this
+            // sweep visits the same candidate vertices in the same order
+            // as the full `0..local_n` scan, and the Gauss-Seidel
+            // `tot_view` evolves bit-identically. ε-throttled vertices
+            // ride along on their cached decision without having been
+            // re-scanned. Index loop: the mover self-wake below re-arms
+            // the pending set of the same frontier mid-sweep.
+            for ei in 0..frontier.eligible_list.len() {
+                let li = frontier.eligible_list[ei] as usize;
+                if m_u[li] > cfg.min_gain_threshold && m_u[li] >= threshold {
                     let c_old = label[li];
                     let c_new = best[li];
                     let u = part.global(rank, li);
@@ -1206,6 +1680,31 @@ fn refine(
                     label[li] = c_new;
                     local_moves += 1;
                     migrated.push((u, c_new));
+                    // Mover self-wake: the label change invalidates the
+                    // cached scan (w_own, remove side, even the interior
+                    // test all read `c_u`), and W2's interior exclusion
+                    // means membership alone no longer guarantees a
+                    // re-scan — a vertex whose only external row was its
+                    // new home becomes interior the moment it arrives.
+                    // That freshly-interior mover needs no re-scan at
+                    // all, though: with every live row pointing at its
+                    // new home, a scan's candidate loop never runs, so
+                    // the exact fresh result is the sentinel — install
+                    // it directly. (Rows are frozen during this sweep —
+                    // the deltas land in the next propagation, where W1
+                    // catches any subsequent row birth.)
+                    let interior = !cache
+                        .vert_adj
+                        .range((u, 0)..=(u, u32::MAX))
+                        .any(|&(_, e)| e != c_new);
+                    if interior {
+                        m_u[li] = 0.0;
+                        best[li] = c_new;
+                        summ[li] = CandSummary::sentinel_only(c_new);
+                        frontier.set_eligible(li, m_u[li] > cfg.min_gain_threshold);
+                    } else {
+                        frontier.wake(li);
+                    }
                     // b flags join (1) vs leave (0) for size tracking.
                     ex.send(
                         part.owner(c_old),
@@ -1225,17 +1724,24 @@ fn refine(
                     );
                 }
             }
+            // Buffer first, apply in sorted order: Σ_tot is floating
+            // point, so the accumulation must be a function of the
+            // delta *multiset*, not of the (perturbable, and for
+            // mixed-magnitude weights ulp-visible) delivery order.
+            let mut tot_deltas: Vec<(u32, u32, u64)> = Vec::new();
+            ex.finish(|m| tot_deltas.push((m.a, m.b, m.w.to_bits())));
+            tot_deltas.sort_unstable();
             let tot = &mut lvl.tot;
             let size = &mut lvl.size;
-            ex.finish(|m| {
-                let li = part.local_index(m.a);
-                tot[li] += m.w;
-                if m.b == 1 {
+            for &(a, b, w_bits) in &tot_deltas {
+                let li = part.local_index(a);
+                tot[li] += f64::from_bits(w_bits);
+                if b == 1 {
                     size[li] += 1;
                 } else {
                     size[li] -= 1;
                 }
-            });
+            }
         }
         comm.update += ctx.sent_messages() - sent_before;
         let moves = ctx.allreduce_sum_u64(local_moves);
@@ -1253,7 +1759,15 @@ fn refine(
         let t_prop = Stopwatch::start();
         let sent_before = ctx.sent_messages();
         if moves > 0 {
-            propagate_deltas(ctx, lvl, cache, out_table, &migrated, cfg.v1_state_rebuild);
+            propagate_deltas(
+                ctx,
+                lvl,
+                cache,
+                out_table,
+                &migrated,
+                &mut frontier,
+                cfg.v1_state_rebuild,
+            );
         }
         comm.state_propagation += ctx.sent_messages() - sent_before;
         sim_lap(ctx, &mut sim.state_propagation);
@@ -1285,6 +1799,7 @@ fn refine(
         }
         q_prev = q;
     }
+    *frontier_stats = frontier_stats.sum(&frontier.stats);
     (q, iterations, fractions, q_trace)
 }
 
@@ -1362,10 +1877,17 @@ fn compute_modularity(
                 ex.send(part.owner(c), Msg { a: c, b: 0, w });
             }
         }
+        // Σ_in is floating point: sort the contributions so the sum is a
+        // function of the message multiset, independent of delivery order
+        // (which the perturbation harness scrambles and mixed-magnitude
+        // weights expose at ulp scale).
+        let mut contribs: Vec<(u32, u64)> = Vec::new();
+        ex.finish(|m| contribs.push((m.a, m.w.to_bits())));
+        contribs.sort_unstable();
         let internal = &mut lvl.internal;
-        ex.finish(|m| {
-            internal[part.local_index(m.a)] += m.w;
-        });
+        for &(c, w_bits) in &contribs {
+            internal[part.local_index(c)] += f64::from_bits(w_bits);
+        }
     }
     let mut q_local = 0.0;
     for li in 0..lvl.internal.len() {
@@ -1477,9 +1999,16 @@ fn reconstruct(
                 ex.send(part_next.owner(b), Msg { a, b, w });
             }
         }
-        ex.finish(|m| {
-            in_table.accumulate(pack_key(m.a, m.b), m.w);
-        });
+        // Sorted application: the next level's edge weights (and the slot
+        // layout their accumulation order produces, which step 6's k sums
+        // inherit) must be a function of the arc multiset, not of the
+        // perturbable delivery order.
+        let mut arcs: Vec<(u64, u64)> = Vec::new();
+        ex.finish(|m| arcs.push((pack_key(m.a, m.b), m.w.to_bits())));
+        arcs.sort_unstable();
+        for &(key, w_bits) in &arcs {
+            in_table.accumulate(key, f64::from_bits(w_bits));
+        }
     }
 
     // 6. Derive the next level's arrays.
@@ -1798,8 +2327,8 @@ mod tests {
         build_out_table_local(&lvl, &mut out_table);
 
         // Vertices 1 and 2 both join community 4, then both leave to 3.
-        cache.apply_deltas(&mut out_table, &mut [(1, 4), (2, 4)]);
-        cache.apply_deltas(&mut out_table, &mut [(1, 3), (2, 3)]);
+        cache.apply_deltas(&mut out_table, &mut [(1, 4), (2, 4)], &mut Vec::new());
+        cache.apply_deltas(&mut out_table, &mut [(1, 3), (2, 3)], &mut Vec::new());
 
         // The fully vacated row is exactly 0.0 (the naive cancellation
         // would have left -1.0), so every `w != 0.0` consumer skips it.
@@ -1830,7 +2359,7 @@ mod tests {
         }
         // A later re-join of the killed row starts from the exact 0.0,
         // not from the residue.
-        cache.apply_deltas(&mut out_table, &mut [(1, 4)]);
+        cache.apply_deltas(&mut out_table, &mut [(1, 4)], &mut Vec::new());
         assert_eq!(out_table.get(pack_key(0, 4)), Some(1e16));
     }
 
@@ -1863,7 +2392,7 @@ mod tests {
                 if reverse {
                     b.reverse();
                 }
-                cache.apply_deltas(&mut out_table, &mut b);
+                cache.apply_deltas(&mut out_table, &mut b, &mut Vec::new());
             }
             let mut rows: Vec<(u64, u64)> =
                 out_table.iter().map(|(k, w)| (k, w.to_bits())).collect();
@@ -1909,6 +2438,121 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Satellite property test (ISSUE 8): frontier scheduling is an
+    /// optimization, not a semantic change. A frontier-scheduled run and
+    /// a full-scan (`full_rescan`) run must produce bit-identical
+    /// assignments, per-level modularity, and final modularity across
+    /// rank counts and perturbation seeds — on the mixed-magnitude
+    /// weighted graphs where floating-point order sensitivity would
+    /// surface first (the PR 4 review-fix generator).
+    #[test]
+    fn frontier_matches_full_rescan_bit_for_bit() {
+        let (el0, _) = planted_graph(23);
+        let mut b = EdgeListBuilder::new(el0.num_vertices());
+        for (i, e) in el0.edges().iter().enumerate() {
+            let w = match i % 3 {
+                0 => 1e8,
+                1 => 0.1,
+                _ => 0.3,
+            };
+            b.add_edge(e.u, e.v, w);
+        }
+        let el = b.build();
+        for ranks in [2, 4] {
+            for seed in [None, Some(1), Some(7)] {
+                let run = |full_rescan: bool| {
+                    ParallelLouvain::new(ParallelConfig {
+                        perturb_seed: seed,
+                        full_rescan,
+                        ..ParallelConfig::with_ranks(ranks)
+                    })
+                    .run(&el)
+                };
+                let f = run(false);
+                let full = run(true);
+                assert_eq!(
+                    f.result.final_partition.labels(),
+                    full.result.final_partition.labels(),
+                    "ranks={ranks} seed={seed:?}: assignments diverged"
+                );
+                assert_eq!(
+                    f.result.final_modularity.to_bits(),
+                    full.result.final_modularity.to_bits(),
+                    "ranks={ranks} seed={seed:?}: modularity diverged"
+                );
+                for (a, b) in f.result.levels.iter().zip(&full.result.levels) {
+                    assert_eq!(
+                        a.modularity.to_bits(),
+                        b.modularity.to_bits(),
+                        "ranks={ranks} seed={seed:?}: level modularity diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_skips_scans_and_reports_occupancy() {
+        let (el, _) = planted_graph(11);
+        let n = el.num_vertices() as u64;
+        let run = |full_rescan: bool| {
+            ParallelLouvain::new(ParallelConfig {
+                full_rescan,
+                ..ParallelConfig::with_ranks(4)
+            })
+            .run(&el)
+        };
+        let f = run(false);
+        let full = run(true);
+        // The full-scan ablation never skips and keeps everyone active.
+        assert_eq!(full.frontier.skipped_scans, 0);
+        assert_eq!(full.frontier.reactivations, 0);
+        // The frontier run does strictly less find-best work for the
+        // same (bit-identical) answer, and work conservation holds:
+        // scanned + skipped on the frontier run equals the full scan.
+        assert!(f.frontier.skipped_scans > 0);
+        assert!(f.frontier.active_vertices < full.frontier.active_vertices);
+        assert_eq!(
+            f.frontier.active_vertices + f.frontier.skipped_scans,
+            full.frontier.active_vertices
+        );
+        assert_eq!(
+            f.result.final_modularity.to_bits(),
+            full.result.final_modularity.to_bits()
+        );
+        // First-level occupancy: iteration 1 seeds every vertex, and the
+        // frontier must shrink below that afterwards.
+        assert_eq!(f.frontier_occupancy.first().copied(), Some(n));
+        assert!(f.frontier_occupancy.len() >= 2);
+        assert!(f.frontier_occupancy.iter().skip(1).any(|&o| o < n));
+    }
+
+    #[test]
+    fn positive_min_gain_threshold_prunes_with_bounded_quality_cost() {
+        let (el, _) = planted_graph(5);
+        let g = el.to_csr();
+        let exact = ParallelLouvain::new(ParallelConfig::with_ranks(4)).run(&el);
+        let pruned = ParallelLouvain::new(ParallelConfig {
+            min_gain_threshold: 1e-4,
+            ..ParallelConfig::with_ranks(4)
+        })
+        .run(&el);
+        assert!(pruned.result.final_partition.is_valid());
+        let q = modularity(&g, &pruned.result.final_partition);
+        assert!(
+            (q - pruned.result.final_modularity).abs() <= 1e-9 * (1.0 + q.abs()),
+            "reported {} vs recomputed {q}",
+            pruned.result.final_modularity
+        );
+        // Pruning near-zero gains may cost a little quality, never much.
+        assert!(
+            pruned.result.final_modularity >= exact.result.final_modularity - 0.05,
+            "pruned {} vs exact {}",
+            pruned.result.final_modularity,
+            exact.result.final_modularity
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ fn reduce(h: u64, m: usize) -> usize {
 ///
 /// `H(x) = ⌊M/W · ((φ⁻¹ · W · x) mod W)⌋` with `W = 2^64`.  The constant
 /// `0x9E37_79B9_7F4A_7C15` is `⌊φ⁻¹ · 2^64⌋` (φ the golden ratio), so the
-/// wrapping multiply computes `(φ⁻¹ · W · x) mod W` exactly and [`reduce`]
+/// wrapping multiply computes `(φ⁻¹ · W · x) mod W` exactly and `reduce`
 /// applies the `M/W` scaling.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FibonacciHash;

@@ -11,7 +11,7 @@
 //! Implements every metric of Table II of Que et al. (IPDPS 2015):
 //!
 //! * **Community detection quality** — Newman modularity (Equation 3),
-//!   evolution ratio, community-size distributions ([`modularity`],
+//!   evolution ratio, community-size distributions ([`mod@modularity`],
 //!   [`evolution`], [`size_dist`]).
 //! * **Partition similarity** (Table III) — NMI (information theory),
 //!   F-measure and NVD (cluster matching), RI / ARI / JI (pair counting),

@@ -29,7 +29,7 @@ pub struct RuntimeConfig {
     /// on in debug builds, off in release builds.
     pub check_protocol: bool,
     /// When `Some(seed)`, adversarially permutes packet delivery order
-    /// and handler invocation order within every [`Exchange`]
+    /// and handler invocation order within every [`crate::Exchange`]
     /// (crate::Exchange) phase, seeded deterministically from
     /// `(seed, rank, phase)`. The simulated clock is unaffected; a
     /// protocol-correct algorithm must produce bit-identical results for

@@ -169,8 +169,13 @@ pub enum Event {
     /// `runtime.dedup_hits` (keyed sends absorbed by last-writer
     /// coalescing), `exchange.dedup_hits` (the per-phase slice of the
     /// same), `delta.state_propagation_messages` (wire volume of the
-    /// delta protocol), and `delta.cache_invalidations` (remote-state
-    /// caches retired by graph reconstruction).
+    /// delta protocol), `delta.cache_invalidations` (remote-state
+    /// caches retired by graph reconstruction), and the frontier
+    /// scheduler's `frontier.active_vertices` (vertices scanned by the
+    /// find-best sweep), `frontier.reactivations` (vertices woken back
+    /// onto the frontier after going inactive), and
+    /// `frontier.skipped_scans` (vertices the full scan would have
+    /// visited but the frontier skipped).
     Count {
         /// Stable counter name.
         name: &'static str,

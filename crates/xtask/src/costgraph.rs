@@ -62,7 +62,11 @@ use crate::phasegraph::{
 
 /// Schema version of `results/cost_spec.json`. Bump when the class
 /// lattice, the site grammar, or the JSON layout changes.
-pub const COST_SPEC_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: the lattice gained `O(frontier)` between `O(deltas)` and
+/// `O(n_local)` — the active-vertex worklist of the frontier-scheduled
+/// local-move phase (DESIGN.md §13).
+pub const COST_SPEC_SCHEMA_VERSION: u32 = 2;
 
 /// Directories scanned for cost sites. Only the solver crate: runtime
 /// internals implement the collectives and would otherwise contribute
@@ -84,6 +88,10 @@ pub enum PayloadClass {
     /// Bounded by the migration deltas of the iteration (vertices that
     /// changed community).
     ODeltas,
+    /// Bounded by the iteration's active-vertex worklist (the frontier,
+    /// DESIGN.md §13). Sits between `O(deltas)` and `O(n_local)`:
+    /// every mover is active, and every active vertex is local.
+    OFrontier,
     /// Bounded by the rank's vertex count at the current level.
     ONLocal,
     /// Bounded by the rank's arc (In-/Out-Table entry) count.
@@ -98,6 +106,7 @@ impl PayloadClass {
         match self {
             PayloadClass::O1 => "O(1)",
             PayloadClass::ODeltas => "O(deltas)",
+            PayloadClass::OFrontier => "O(frontier)",
             PayloadClass::ONLocal => "O(n_local)",
             PayloadClass::OLocalArcs => "O(local_arcs)",
             PayloadClass::Unbounded => "Unbounded",
@@ -172,6 +181,8 @@ fn seed_class(w: &str) -> Option<PayloadClass> {
     Some(match w {
         // Migration deltas: the PR 4 steady-state currency.
         "migrated" | "deltas" | "moved" => PayloadClass::ODeltas,
+        // The active-vertex worklist of the frontier scheduler (§13).
+        "frontier" | "worklist" => PayloadClass::OFrontier,
         // Arc-shaped collections (In-/Out-Table rows, edge chunks).
         "in_table" | "out_table" | "chunk" | "edges" | "triples" | "pairs" | "out_srcs"
         | "arcs" => PayloadClass::OLocalArcs,
@@ -1324,7 +1335,8 @@ mod tests {
     #[test]
     fn payload_lattice_order_matches_volume_order() {
         assert!(PayloadClass::O1 < PayloadClass::ODeltas);
-        assert!(PayloadClass::ODeltas < PayloadClass::ONLocal);
+        assert!(PayloadClass::ODeltas < PayloadClass::OFrontier);
+        assert!(PayloadClass::OFrontier < PayloadClass::ONLocal);
         assert!(PayloadClass::ONLocal < PayloadClass::OLocalArcs);
         assert!(PayloadClass::OLocalArcs < PayloadClass::Unbounded);
         assert!(Multiplicity::PerRun < Multiplicity::PerLevel);
@@ -1546,7 +1558,7 @@ fn f(ctx: &mut Ctx, labels: &[f64]) {
         };
         let j = spec.to_json();
         assert_eq!(j, spec.to_json());
-        assert!(j.starts_with("{\n  \"schema_version\": 1,\n"));
+        assert!(j.starts_with("{\n  \"schema_version\": 2,\n"));
         assert!(j.ends_with("}\n"));
         assert!(j.contains("\"site\": \"a.rs::main#0\""));
         assert!(j.contains("\"payload\": \"O(local_arcs)\""));

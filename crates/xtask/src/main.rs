@@ -13,9 +13,12 @@
 //! - `cost [--check|--update]` — extract the communication-cost spec
 //!   (per-site payload bound + invocation multiplicity) and write it to
 //!   `results/cost_spec.json`; `--check` byte-diffs like `protocol`.
-//! - `check` — umbrella: `cargo fmt --check`, `cargo clippy --workspace`,
-//!   the lint pass, both spec lockfiles, and `cargo test -q`, stopping
-//!   at the first failure.
+//! - `check [--docs]` — umbrella: `cargo fmt --check`,
+//!   `cargo clippy --workspace`, the lint pass, both spec lockfiles, and
+//!   `cargo test -q`, stopping at the first failure. `--docs` appends the
+//!   documentation gate (`cargo doc --no-deps` under
+//!   `RUSTDOCFLAGS="-D warnings"`) — CI runs it in a dedicated job, the
+//!   quick local gate may skip it.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -245,7 +248,8 @@ fn run_step(name: &str, cmd: &mut Command) -> bool {
     }
 }
 
-fn run_check() -> ExitCode {
+fn run_check(args: &[String]) -> ExitCode {
+    let docs = args.iter().any(|a| a == "--docs");
     let root = workspace_root();
     let ok = run_step(
         "cargo fmt --check",
@@ -294,7 +298,14 @@ fn run_check() -> ExitCode {
         Command::new("cargo")
             .args(["test", "--workspace", "--doc", "-q"])
             .current_dir(&root),
-    );
+    ) && (!docs
+        || run_step(
+            "cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)",
+            Command::new("cargo")
+                .args(["doc", "--workspace", "--no-deps", "-q"])
+                .env("RUSTDOCFLAGS", "-D warnings")
+                .current_dir(&root),
+        ));
     if ok {
         eprintln!("xtask check: all steps passed");
         ExitCode::SUCCESS
@@ -309,11 +320,11 @@ fn main() -> ExitCode {
         Some("lint") => run_lint(&args[1..]),
         Some("protocol") => run_protocol(&args[1..]),
         Some("cost") => run_cost(&args[1..]),
-        Some("check") => run_check(),
+        Some("check") => run_check(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- <lint [--json] [--update-baseline] [paths..] \
-                 | protocol [--check|--update] | cost [--check|--update] | check>"
+                 | protocol [--check|--update] | cost [--check|--update] | check [--docs]>"
             );
             ExitCode::from(2)
         }

@@ -76,6 +76,8 @@ fn violations(r: &ParallelResult, ranks: u64, raw_edges: u64, distributed: bool)
         ("comm.messages", r.comm.messages),
         ("comm.dedup_hits", r.comm.dedup_hits),
         ("bytes_sent", r.bytes_sent),
+        ("frontier.active_vertices", r.frontier.active_vertices),
+        ("frontier.skipped_scans", r.frontier.skipped_scans),
     ] {
         not_pegged(name, v);
     }
@@ -88,12 +90,10 @@ fn violations(r: &ParallelResult, ranks: u64, raw_edges: u64, distributed: bool)
     // per-iteration sums weighted by level size.
     let mut moves_total = 0u64;
     let mut iters_total = 0u64;
-    let mut iters_times_n = 0u64;
     let mut recon_terms = 0u64;
     for lvl in &r.result.levels {
         let n = lvl.num_vertices as u64;
         iters_total += lvl.inner_iterations as u64;
-        iters_times_n += lvl.inner_iterations as u64 * n;
         for &f in &lvl.move_fractions {
             // `f` was computed as moves / n, so this recovers the exact
             // per-iteration global move count.
@@ -136,12 +136,18 @@ fn violations(r: &ParallelResult, ranks: u64, raw_edges: u64, distributed: bool)
         moves_total * ranks,
         "O(deltas) per-iteration",
     );
-    // community update — two O(n_local) sites per inner iteration.
+    // community update — two O(frontier) sites per inner iteration: the
+    // sweep walks the eligibility ledger (frontier-bounded), and each
+    // mover — a subset of the ledger — ships exactly two Σ_tot messages
+    // (leave + join). `moves_total` is recovered exactly from the move
+    // fractions, so this concrete bound is exact, and anything that
+    // respects it trivially respects the looser O(frontier) and the old
+    // O(n_local) classes it tightened from.
     check(
         "update",
         cb.update,
-        2 * iters_times_n,
-        "O(n_local) per-iteration",
+        2 * moves_total,
+        "O(frontier) per-iteration (2 messages per move)",
     );
     // modularity — one O(local_arcs) Σ_in re-key per inner iteration
     // (the closing allreduce is message-free).
@@ -197,6 +203,19 @@ fn spec_classifies_the_delta_path_and_bans_unbounded() {
     assert_eq!(keyed.op, "send_keyed");
     assert_eq!(keyed.payload, "O(deltas)");
     assert_eq!(keyed.multiplicity, "per_iteration");
+    // The two Σ_tot announcements of the update sweep ride the frontier
+    // worklist, not the full vertex range: the scan work class tightened
+    // from O(n_local) to O(frontier) (DESIGN.md §13).
+    for idx in 0..2 {
+        let upd = s
+            .sites
+            .iter()
+            .find(|c| c.site.ends_with(&format!("::refine#{idx}")))
+            .expect("refine update site present");
+        assert_eq!(upd.op, "send");
+        assert_eq!(upd.payload, "O(frontier)");
+        assert_eq!(upd.multiplicity, "per_iteration");
+    }
     let v1 = s
         .sites
         .iter()

@@ -59,6 +59,12 @@ if [ "$quick" -eq 1 ]; then
   exit 0
 fi
 
+# Documentation gate: every pub item documented, every doc example
+# compiles and runs. The quick gate skips it (CI runs it in a dedicated
+# `docs` job; `cargo run -p xtask -- check --docs` is the local analog).
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> schedule-perturbation harness (8 ranks, full seed sweep)"
 LOUVAIN_RACE_EIGHT_RANKS=1 cargo test -q -p louvain-runtime --test schedule_perturbation
 
