@@ -9,6 +9,7 @@ use louvain_bench::experiments as exp;
 use std::time::Instant;
 
 const USAGE: &str = "usage: louvain-bench <experiment> [--quick]
+       louvain-bench --fault-plan <file>   replay a chaos CI artifact
 experiments:
   table1           graph inventory (Table I)
   fig2             heuristic regression on LFR traces (Figure 2)
@@ -30,6 +31,14 @@ experiments:
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = args.iter().position(|a| a == "--fault-plan") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("--fault-plan needs a file argument\n{USAGE}");
+            std::process::exit(2);
+        };
+        let ok = louvain_bench::chaos::replay(path);
+        std::process::exit(i32::from(!ok));
+    }
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let which = args.iter().find(|a| !a.starts_with('-')).cloned();
     let Some(which) = which else {

@@ -20,6 +20,7 @@
 //! | `ablate-epsilon` | ε-schedule parameter sweep (design ablation) |
 //! | `ablate-coalesce` | coalescing-capacity sweep (design ablation) |
 //! | `bench-snapshot` | `BENCH_louvain.json` perf snapshot (DESIGN.md §9) |
+//! | `--fault-plan <file>` | replay a chaos CI artifact (DESIGN.md §14) |
 //!
 //! The reporting primitives are reusable:
 //!
@@ -34,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod report;
 pub mod snapshot;

@@ -17,9 +17,15 @@
 
 use crate::experiments::{run_par, workload};
 use crate::{NS_PER_UNIT, SEED};
-use louvain_core::parallel::ParallelResult;
+use louvain_core::parallel::{ParallelConfig, ParallelLouvain, ParallelResult};
 use louvain_hash::{pack_key, EdgeTable};
-use std::fmt::Write as _;
+use louvain_runtime::FaultPlan;
+
+/// The deterministic JSON value the snapshot is built from. Originally
+/// defined here; now lives in `louvain_core::json` so the checkpoint
+/// subsystem shares the same writer/parser (re-exported to keep the
+/// `snapshot::Json` path working).
+pub use louvain_core::json::Json;
 
 /// Version of the `BENCH_louvain.json` schema. Bump on any field rename,
 /// removal, or semantic change (additions are allowed within a version);
@@ -38,7 +44,18 @@ use std::fmt::Write as _;
 /// `frontier_skipped_scans` (summed counters, DESIGN.md §13), and
 /// `frontier_occupancy` (first-level worklist size per inner iteration,
 /// summed across ranks).
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: checkpoint/restart instrumentation (DESIGN.md §14). New top-level
+/// `chaos` object measuring the amazon workload under a level-1
+/// checkpoint cadence with one injected rank crash: `checkpoints_taken`
+/// and `checkpoint_bytes` (serialized slot volume across ranks),
+/// `recovery_replays`, `recovery_replay_units` (simulated work units
+/// re-executed by the recovery attempt), and `recovered_bit_identical`
+/// (the recovered modularity matches the fault-free run bit for bit).
+/// Workload entries are unchanged, so v3 consumers of `workloads` keep
+/// working; the version still bumps because the document grew a
+/// measured section whose absence v4 consumers must detect.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Output path, relative to the working directory (the workspace root
 /// under `cargo run`).
@@ -46,341 +63,6 @@ pub const SNAPSHOT_PATH: &str = "BENCH_louvain.json";
 
 /// Ranks used for every snapshot workload (matches the e2e trace tests).
 pub const RANKS: usize = 4;
-
-/// A minimal JSON value — the workspace is std-only, so the snapshot
-/// carries its own writer and parser instead of pulling in serde.
-#[derive(Clone, Debug, PartialEq)]
-pub enum Json {
-    /// `true` / `false`.
-    Bool(bool),
-    /// A non-negative integer (rendered without a decimal point).
-    UInt(u64),
-    /// A finite float (rendered via Rust's shortest-roundtrip formatter,
-    /// which is deterministic for a given value).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object; key order is preserved (and hence deterministic).
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Object field lookup (`None` for non-objects and missing keys).
-    #[must_use]
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// Numeric value of a `UInt` or `Num`.
-    #[must_use]
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::UInt(u) => Some(*u as f64),
-            Json::Num(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    /// Integer value of a `UInt`.
-    #[must_use]
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::UInt(u) => Some(*u),
-            _ => None,
-        }
-    }
-
-    /// Borrow of a `Str`'s content.
-    #[must_use]
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// Borrow of an `Arr`'s elements.
-    #[must_use]
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Renders the value as pretty-printed JSON (2-space indent, trailing
-    /// newline). Key order and float formatting are deterministic, so
-    /// equal values render to identical bytes.
-    #[must_use]
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.render_into(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn render_into(&self, out: &mut String, indent: usize) {
-        let pad = "  ".repeat(indent + 1);
-        let close_pad = "  ".repeat(indent);
-        match self {
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::UInt(u) => {
-                let _ = write!(out, "{u}");
-            }
-            Json::Num(x) => {
-                assert!(x.is_finite(), "non-finite float in snapshot: {x}");
-                // `{:?}` is the shortest representation that round-trips,
-                // always with a decimal point or exponent (valid JSON).
-                let _ = write!(out, "{x:?}");
-            }
-            Json::Str(s) => {
-                let _ = write!(out, "\"{}\"", escape(s));
-            }
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&pad);
-                    item.render_into(out, indent + 1);
-                }
-                out.push('\n');
-                out.push_str(&close_pad);
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&pad);
-                    let _ = write!(out, "\"{}\": ", escape(k));
-                    v.render_into(out, indent + 1);
-                }
-                out.push('\n');
-                out.push_str(&close_pad);
-                out.push('}');
-            }
-        }
-    }
-
-    /// Parses a JSON document (objects, arrays, strings, numbers, bools,
-    /// null is rejected — the snapshot never emits it). Numbers without a
-    /// fraction, exponent, or sign parse as [`Json::UInt`]; everything
-    /// else numeric parses as [`Json::Num`], so `parse(render(v)) == v`
-    /// for every value this module produces.
-    ///
-    /// # Errors
-    ///
-    /// Returns a human-readable message on malformed input or trailing
-    /// garbage.
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(value)
-    }
-}
-
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
-    if *pos < b.len() && b[*pos] == c {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected {:?} at byte {}", c as char, *pos))
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        Some(b'{') => parse_object(b, pos),
-        Some(b'[') => parse_array(b, pos),
-        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
-        Some(b't') if b[*pos..].starts_with(b"true") => {
-            *pos += 4;
-            Ok(Json::Bool(true))
-        }
-        Some(b'f') if b[*pos..].starts_with(b"false") => {
-            *pos += 5;
-            Ok(Json::Bool(false))
-        }
-        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
-        _ => Err(format!("unexpected input at byte {}", *pos)),
-    }
-}
-
-fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    expect(b, pos, b'{')?;
-    let mut fields = Vec::new();
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(Json::Obj(fields));
-    }
-    loop {
-        skip_ws(b, pos);
-        let key = parse_string(b, pos)?;
-        skip_ws(b, pos);
-        expect(b, pos, b':')?;
-        let value = parse_value(b, pos)?;
-        fields.push((key, value));
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(Json::Obj(fields));
-            }
-            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
-        }
-    }
-}
-
-fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    expect(b, pos, b'[')?;
-    let mut items = Vec::new();
-    skip_ws(b, pos);
-    if b.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(Json::Arr(items));
-    }
-    loop {
-        items.push(parse_value(b, pos)?);
-        skip_ws(b, pos);
-        match b.get(*pos) {
-            Some(b',') => *pos += 1,
-            Some(b']') => {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
-        }
-    }
-}
-
-fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(b, pos, b'"')?;
-    let mut out = String::new();
-    while *pos < b.len() {
-        match b[*pos] {
-            b'"' => {
-                *pos += 1;
-                return Ok(out);
-            }
-            b'\\' => {
-                *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape at byte {}", *pos))?;
-                        out.push(
-                            char::from_u32(code)
-                                .ok_or_else(|| format!("bad code point at byte {}", *pos))?,
-                        );
-                        *pos += 4;
-                    }
-                    _ => return Err(format!("bad escape at byte {}", *pos)),
-                }
-                *pos += 1;
-            }
-            _ => {
-                // Consume one UTF-8 scalar (input is a &str, so this is
-                // always at a char boundary).
-                let rest = &b[*pos..];
-                let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
-                let c = s.chars().next().ok_or("unterminated string")?;
-                out.push(c);
-                *pos += c.len_utf8();
-            }
-        }
-    }
-    Err("unterminated string".to_string())
-}
-
-fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    if b.get(*pos) == Some(&b'-') {
-        *pos += 1;
-    }
-    let mut fractional = false;
-    while let Some(&c) = b.get(*pos) {
-        match c {
-            b'0'..=b'9' => *pos += 1,
-            b'.' | b'e' | b'E' | b'+' | b'-' => {
-                fractional = true;
-                *pos += 1;
-            }
-            _ => break,
-        }
-    }
-    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
-    if !fractional && !text.starts_with('-') {
-        if let Ok(u) = text.parse::<u64>() {
-            return Ok(Json::UInt(u));
-        }
-    }
-    text.parse::<f64>()
-        .map(Json::Num)
-        .map_err(|_| format!("bad number {text:?} at byte {start}"))
-}
 
 /// Deterministic sequential-fill microbench for the probe statistics.
 ///
@@ -505,6 +187,56 @@ fn workload_entry(name: &str, vertices: usize, r: &ParallelResult) -> Json {
     ])
 }
 
+/// The checkpoint/recovery measurement behind the v4 `chaos` section
+/// (DESIGN.md §14): run the amazon workload at a level-1 checkpoint
+/// cadence, then crash one rank just past the first level boundary and
+/// recover from the checkpoint store. Everything here derives from the
+/// simulated clock and solver counters, so the section is bit-stable
+/// like the rest of the snapshot.
+fn chaos_entry() -> Json {
+    let g = workload("amazon", SEED);
+    let cfg = ParallelConfig {
+        checkpoint_every_level: 1,
+        ..ParallelConfig::with_ranks(RANKS)
+    };
+    let probe = ParallelLouvain::new(cfg.clone()).run(&g.edges);
+    // Aim half a unit past the first level boundary: the crash fires at
+    // the first sync of the next level, after that boundary's
+    // checkpoint was written on every rank.
+    let at_clock = probe.level_boundary_clocks.first().map_or(1.0, |c| c + 0.5);
+    let recovered = ParallelLouvain::new(ParallelConfig {
+        fault_plan: Some(FaultPlan::crash(1 % RANKS, at_clock)),
+        ..cfg
+    })
+    .run(&g.edges);
+    let identical = recovered.result.final_modularity.to_bits()
+        == probe.result.final_modularity.to_bits()
+        && recovered.result.final_partition.labels() == probe.result.final_partition.labels();
+    Json::Obj(vec![
+        ("workload".into(), Json::Str("amazon".to_string())),
+        ("ranks".into(), Json::UInt(RANKS as u64)),
+        ("checkpoint_every_level".into(), Json::UInt(1)),
+        (
+            "checkpoints_taken".into(),
+            Json::UInt(probe.checkpoints_taken),
+        ),
+        (
+            "checkpoint_bytes".into(),
+            Json::UInt(probe.checkpoint_bytes),
+        ),
+        ("crash_at_clock".into(), Json::Num(at_clock)),
+        (
+            "recovery_replays".into(),
+            Json::UInt(recovered.recovery_replays),
+        ),
+        (
+            "recovery_replay_units".into(),
+            Json::Num(recovered.sim_total_units),
+        ),
+        ("recovered_bit_identical".into(), Json::Bool(identical)),
+    ])
+}
+
 /// Builds the snapshot document. `quick` trims the workload list.
 #[must_use]
 pub fn build(quick: bool) -> Json {
@@ -530,6 +262,7 @@ pub fn build(quick: bool) -> Json {
         ("quick".into(), Json::Bool(quick)),
         ("workloads".into(), Json::Arr(entries)),
         ("hash_table".into(), hash_microbench(100_000)),
+        ("chaos".into(), chaos_entry()),
     ])
 }
 
@@ -562,31 +295,6 @@ pub fn run(quick: bool) {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn render_parse_roundtrip_preserves_values() {
-        let v = Json::Obj(vec![
-            ("a".into(), Json::UInt(42)),
-            ("b".into(), Json::Num(0.25)),
-            ("c".into(), Json::Str("x \"y\"\nz".into())),
-            (
-                "d".into(),
-                Json::Arr(vec![Json::Bool(true), Json::Num(1e-7), Json::Obj(vec![])]),
-            ),
-            ("e".into(), Json::Arr(vec![])),
-        ]);
-        let text = v.render();
-        let back = Json::parse(&text).expect("parse");
-        assert_eq!(back, v);
-    }
-
-    #[test]
-    fn parse_rejects_garbage() {
-        assert!(Json::parse("{").is_err());
-        assert!(Json::parse("[1,]").is_err());
-        assert!(Json::parse("{} extra").is_err());
-        assert!(Json::parse("nope").is_err());
-    }
 
     #[test]
     fn hash_microbench_is_deterministic() {

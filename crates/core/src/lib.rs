@@ -30,11 +30,13 @@
 //! Shared pieces: the ΔQ kernel ([`dq`], Equation 4), hierarchy/result
 //! types ([`result`]), and per-phase timers ([`timing`], Figure 8).
 
+pub mod checkpoint;
 pub mod coarsen;
 pub mod dendrogram;
 pub mod dq;
 pub mod frontier;
 pub mod heuristic;
+pub mod json;
 pub mod labelprop;
 pub mod naive;
 pub mod parallel;
@@ -44,9 +46,11 @@ pub mod seq;
 pub mod smp;
 pub mod timing;
 
+pub use checkpoint::{ChaosCase, Checkpoint, CheckpointError, CheckpointStore};
 pub use dendrogram::Dendrogram;
 pub use frontier::FrontierStats;
 pub use heuristic::{EpsilonSchedule, ScheduleForm};
+pub use json::Json;
 pub use labelprop::{LabelPropConfig, LabelPropResult, LabelPropagation};
 pub use naive::{NaiveConfig, NaiveParallelLouvain};
 pub use parallel::{ParallelConfig, ParallelLouvain, ParallelResult};

@@ -68,6 +68,7 @@
 //! frontier/full-scan equivalence (DESIGN.md §13) be asserted bitwise
 //! on mixed-magnitude inputs.
 
+use crate::checkpoint::{Checkpoint, CheckpointStore, LevelSnapshot};
 use crate::dq;
 use crate::frontier::{Frontier, FrontierStats};
 use crate::heuristic::EpsilonSchedule;
@@ -80,7 +81,8 @@ use louvain_graph::partition1d::ModuloPartition;
 use louvain_hash::{pack_key, unpack_key, EdgeTable};
 use louvain_metrics::Partition;
 use louvain_runtime::{
-    run_with_config_logged, CollectiveKind, CommStats, Exchange, RankCtx, RuntimeConfig,
+    run_with_config_faulted, run_with_config_logged, CollectiveKind, CommStats, Exchange,
+    FaultPlan, FaultStats, RankCtx, RunOutcome, RuntimeConfig,
 };
 use louvain_trace::{Event, RankTrace};
 use std::collections::{BTreeMap, BTreeSet};
@@ -118,7 +120,7 @@ pub struct Msg {
 /// };
 /// assert!(coarse.min_gain_threshold > cfg.min_gain_threshold);
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ParallelConfig {
     /// Simulated ranks (compute nodes).
     pub ranks: usize,
@@ -188,6 +190,20 @@ pub struct ParallelConfig {
     /// `frontier.*` counters differ. The property tests compare the two
     /// paths across perturb seeds on mixed-magnitude weighted graphs.
     pub full_rescan: bool,
+    /// Checkpoint cadence: snapshot every rank's solver state at every
+    /// `checkpoint_every_level`-th level boundary (DESIGN.md §14).
+    /// `0` (the default) disables checkpointing entirely — no extra
+    /// barrier, no trace events, byte-identical behavior to a build
+    /// without the subsystem.
+    pub checkpoint_every_level: usize,
+    /// Deterministic fault plan forwarded to the runtime (DESIGN.md §14):
+    /// seeded transport faults (masked — results must not change) and
+    /// scheduled rank crashes keyed on the simulated clock. On a crash
+    /// the driver rewinds every rank to the last checkpoint, disarms the
+    /// fired crash, and re-executes; [`ParallelResult::recovery_replays`]
+    /// counts the restarts. `None` (the default) takes exactly the
+    /// fault-free code path.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ParallelConfig {
@@ -210,6 +226,8 @@ impl Default for ParallelConfig {
             v1_state_rebuild: false,
             min_gain_threshold: 0.0,
             full_rescan: false,
+            checkpoint_every_level: 0,
+            fault_plan: None,
         }
     }
 }
@@ -291,6 +309,23 @@ pub struct ParallelResult {
     /// set). Schedule-invariant, so it is safe to snapshot
     /// (`BENCH_louvain.json` carries it per workload).
     pub frontier_occupancy: Vec<u64>,
+    /// How many times the driver restarted the world from the last
+    /// checkpoint after a scheduled rank crash (DESIGN.md §14). Always 0
+    /// without a [`ParallelConfig::fault_plan`].
+    pub recovery_replays: u64,
+    /// Per-rank checkpoints written across all attempts (0 when
+    /// [`ParallelConfig::checkpoint_every_level`] is 0).
+    pub checkpoints_taken: u64,
+    /// Total rendered bytes of all checkpoints written (cumulative).
+    pub checkpoint_bytes: u64,
+    /// Simulated clock at each completed level boundary of the final
+    /// (successful) attempt, in work units — the aiming grid for crash
+    /// injection: a crash scheduled just past `level_boundary_clocks[i]`
+    /// fires in level `i + 1`. Identical on every rank; rank 0's reading.
+    pub level_boundary_clocks: Vec<f64>,
+    /// Fault-injection counters summed over every attempt (all zero
+    /// without a fault plan).
+    pub faults: FaultStats,
 }
 
 impl ParallelResult {
@@ -598,6 +633,10 @@ struct RankOutput {
     frontier: FrontierStats,
     /// This rank's first-level frontier occupancy per inner iteration.
     frontier_occupancy: Vec<u64>,
+    /// Simulated clock at each completed level boundary (identical on
+    /// every rank; only levels executed by this attempt — a resumed
+    /// attempt reports boundaries from its restart point on).
+    level_boundary_clocks: Vec<f64>,
     trace: Option<RankTrace>,
 }
 
@@ -652,20 +691,57 @@ impl ParallelLouvain {
     }
 
     fn run_input(&self, input: RunInput<'_>, n: usize) -> ParallelResult {
-        let cfg = self.cfg;
+        let cfg = self.cfg.clone();
         let t0 = Stopwatch::start();
         let input = &input;
-        let (mut rank_outputs, comm, protocol_logs) = run_with_config_logged::<Msg, RankOutput, _>(
-            RuntimeConfig {
-                coalesce_capacity: cfg.coalesce_capacity,
-                sync_latency_units: cfg.sync_latency_units,
-                charge_per_message: cfg.charge_per_message,
-                perturb_seed: cfg.perturb_seed,
-                record_protocol: cfg.record_protocol,
-                ..RuntimeConfig::new(cfg.ranks)
+        let rt_cfg = RuntimeConfig {
+            coalesce_capacity: cfg.coalesce_capacity,
+            sync_latency_units: cfg.sync_latency_units,
+            charge_per_message: cfg.charge_per_message,
+            perturb_seed: cfg.perturb_seed,
+            record_protocol: cfg.record_protocol,
+            ..RuntimeConfig::new(cfg.ranks)
+        };
+        let store = CheckpointStore::new(cfg.ranks);
+        let store = &store;
+        let mut recovery_replays = 0u64;
+        let mut faults = FaultStats::default();
+        let (mut rank_outputs, comm, protocol_logs) = match cfg.fault_plan.clone() {
+            // No fault plan: exactly the fault-free code path (the
+            // checkpoint hooks still run if the cadence knob is set).
+            None => run_with_config_logged::<Msg, RankOutput, _>(rt_cfg, |ctx| {
+                rank_main(ctx, input, &cfg, store)
+            }),
+            // Chaos path: run until the plan is exhausted. Each crash is
+            // disarmed after it fires (the machine "comes back"), and the
+            // next attempt resumes every rank from its checkpoint slot —
+            // or from scratch if no checkpoint was taken yet.
+            Some(mut plan) => loop {
+                let outcome = run_with_config_faulted::<Msg, RankOutput, _>(rt_cfg, &plan, |ctx| {
+                    rank_main(ctx, input, &cfg, store)
+                });
+                match outcome {
+                    RunOutcome::Completed {
+                        results,
+                        stats,
+                        logs,
+                        faults: attempt,
+                    } => {
+                        faults = faults.sum(&attempt);
+                        break (results, stats, logs);
+                    }
+                    RunOutcome::Crashed {
+                        rank,
+                        at_clock,
+                        faults: attempt,
+                    } => {
+                        faults = faults.sum(&attempt);
+                        recovery_replays += 1;
+                        plan.disarm_crash(rank, at_clock);
+                    }
+                }
             },
-            |ctx| rank_main(ctx, input, &cfg),
-        );
+        };
         let total_time = t0.elapsed();
 
         // Assemble the global partition from per-rank original labels.
@@ -760,12 +836,41 @@ impl ParallelLouvain {
             protocol_logs,
             frontier,
             frontier_occupancy,
+            recovery_replays,
+            checkpoints_taken: store.total_taken(),
+            checkpoint_bytes: store.total_bytes(),
+            level_boundary_clocks: rank_outputs[0].level_boundary_clocks.clone(),
+            faults,
         }
     }
 }
 
+/// Everything the level loop of [`rank_main`] carries across levels —
+/// the unit of state a checkpoint persists and a restore reconstructs.
+struct LoopState {
+    lvl: RankLevel,
+    /// This rank's share of the input edge count.
+    input_edges: usize,
+    /// The global weight sum `s = 2m` (invariant across levels).
+    s: f64,
+    /// Level index the loop starts at (0 fresh, checkpointed otherwise).
+    start_level: usize,
+    orig_comm: Vec<u32>,
+    levels: Vec<LevelInfo>,
+    level_orig_comms: Vec<Vec<u32>>,
+    q_prev_level: f64,
+    cache_invalidations: u64,
+    frontier_stats: FrontierStats,
+    frontier_occupancy: Vec<u64>,
+}
+
 /// The per-rank driver: Algorithm 2.
-fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelConfig) -> RankOutput {
+fn rank_main(
+    ctx: &mut RankCtx<'_, Msg>,
+    input: &RunInput<'_>,
+    cfg: &ParallelConfig,
+    store: &CheckpointStore,
+) -> RankOutput {
     // Each rank is one OS thread: install this rank's trace buffer here
     // and drain it just before returning. Every emission below is keyed
     // on the simulated clock, never wall time.
@@ -774,46 +879,35 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
     let mut inner_timings: Vec<InnerIterationTiming> = Vec::new();
     let mut comm = CommBreakdown::default();
     let mut sim = SimBreakdown::default();
-    let sent0 = ctx.sent_messages();
-    let (mut lvl, input_edges) = match input {
-        RunInput::Replicated(edges) => {
-            let lvl = build_initial_level(ctx, edges, cfg);
-            // Attribute the shared input evenly so the sum is exact.
-            let rank = ctx.rank();
-            let m = edges.num_edges();
-            let share = m / cfg.ranks + usize::from(rank < m % cfg.ranks);
-            (lvl, share)
-        }
-        RunInput::Parts { num_vertices, f } => {
-            let part = f(ctx.rank());
-            let m = part.num_edges();
-            (
-                build_initial_level_distributed(ctx, *num_vertices, &part, cfg),
-                m,
-            )
-        }
+    // Restart path (DESIGN.md §14): if a checkpoint exists, rebuild the
+    // loop state from it — no loading, no 2m reduction; the restored
+    // protocol-log prefix stands in for the skipped collectives. A fresh
+    // world (or checkpointing off) takes the loading path.
+    let st = match take_resume_state(store, cfg, ctx) {
+        Some(st) => st,
+        None => fresh_rank_state(ctx, input, cfg, &mut comm, &mut sim),
     };
-    comm.loading = ctx.sent_messages() - sent0;
-    // 2m is invariant across levels (reconstruction preserves weight).
-    let s = ctx.allreduce_sum(lvl.k.iter().sum());
-    // Everything up to here (edge distribution + the 2m reduction) is the
-    // loading superstep; the clock only moves at collectives, so this
-    // read is identical on every rank.
-    sim.loading = ctx.sim_clock_units();
-    // Current community of each originally-local vertex, expressed as a
-    // vertex id of the *current* level.
-    let mut orig_comm: Vec<u32> = lvl.part.local_vertices(ctx.rank()).collect();
-    let mut levels: Vec<LevelInfo> = Vec::new();
-    let mut level_orig_comms: Vec<Vec<u32>> = Vec::new();
+    let LoopState {
+        mut lvl,
+        input_edges,
+        s,
+        start_level,
+        mut orig_comm,
+        mut levels,
+        mut level_orig_comms,
+        mut q_prev_level,
+        mut cache_invalidations,
+        mut frontier_stats,
+        mut frontier_occupancy,
+    } = st;
     let mut out_table = EdgeTable::new(lvl.in_table.len().max(8));
-    let mut q_prev_level = f64::NEG_INFINITY;
     let mut first_level_time = Duration::ZERO;
     let mut sim_first_level_units = 0.0f64;
-    let mut cache_invalidations = 0u64;
-    let mut frontier_stats = FrontierStats::default();
-    let mut frontier_occupancy: Vec<u64> = Vec::new();
+    let mut level_boundary_clocks: Vec<f64> = Vec::new();
+    let mut checkpoints_written = 0u64;
+    let mut checkpoint_bytes_written = 0u64;
 
-    for level_idx in 0..cfg.max_levels {
+    for level_idx in start_level..cfg.max_levels {
         let level_start = Stopwatch::start();
         let record_inner = level_idx == 0;
         // The remote-state cache is an index over the In-Table, which is
@@ -893,8 +987,41 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
         let improved = q - q_prev_level > cfg.min_level_improvement;
         q_prev_level = q;
         lvl = next;
+        // Every collective above completed, so this read is identical on
+        // all ranks — the aiming grid for deterministic crash injection.
+        level_boundary_clocks.push(ctx.sim_clock_units());
         if no_reduction || !improved {
             break;
+        }
+        if checkpoint_due(cfg, level_idx) {
+            // The barrier makes the store update atomic with respect to
+            // scheduled crashes: a rank can only die at a sim_sync, so a
+            // pre-barrier crash unwinds everyone *at* this barrier
+            // (before any slot is written), and once the barrier
+            // completes there is no sync before the writes — every rank
+            // writes level `level_idx + 1`, or none does. Checkpoint
+            // serialization happens outside every traced phase region
+            // (lint rule X1): it is bookkeeping, not algorithm work, and
+            // must not distort the per-phase clock attribution.
+            ctx.barrier();
+            let bytes = write_level_checkpoint(
+                store,
+                ctx,
+                cfg,
+                level_idx + 1,
+                &lvl,
+                input_edges,
+                s,
+                &orig_comm,
+                &levels,
+                &level_orig_comms,
+                q_prev_level,
+                cache_invalidations,
+                &frontier_stats,
+                &frontier_occupancy,
+            );
+            checkpoints_written += 1;
+            checkpoint_bytes_written += bytes;
         }
     }
 
@@ -944,6 +1071,37 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
         name: "frontier.skipped_scans",
         value: frontier_stats.skipped_scans,
     });
+    // Chaos observables (DESIGN.md §14), gated so a default-config run's
+    // trace stays byte-identical to a build without the subsystem:
+    // checkpoint counters only when a cadence is set, fault counters
+    // only when a plan is injecting. All are rank-local program-order
+    // tallies of deterministic decisions, so the §9 trace contract
+    // holds.
+    if cfg.checkpoint_every_level > 0 {
+        louvain_trace::emit_with(|| Event::Count {
+            name: "checkpoint.count",
+            value: checkpoints_written,
+        });
+        louvain_trace::emit_with(|| Event::Count {
+            name: "checkpoint.bytes",
+            value: checkpoint_bytes_written,
+        });
+    }
+    if ctx.fault_injection_active() {
+        let f = ctx.fault_counters();
+        louvain_trace::emit_with(|| Event::Count {
+            name: "fault.packets_dropped",
+            value: f.packets_dropped,
+        });
+        louvain_trace::emit_with(|| Event::Count {
+            name: "fault.packets_duplicated",
+            value: f.packets_duplicated,
+        });
+        louvain_trace::emit_with(|| Event::Count {
+            name: "fault.packets_delayed",
+            value: f.packets_delayed,
+        });
+    }
     RankOutput {
         orig_comm,
         levels,
@@ -961,8 +1119,196 @@ fn rank_main(ctx: &mut RankCtx<'_, Msg>, input: &RunInput<'_>, cfg: &ParallelCon
         cache_invalidations,
         frontier: frontier_stats,
         frontier_occupancy,
+        level_boundary_clocks,
         trace: louvain_trace::take(),
     }
+}
+
+/// Whether the boundary at the end of `level_idx` is a checkpoint point.
+fn checkpoint_due(cfg: &ParallelConfig, level_idx: usize) -> bool {
+    cfg.checkpoint_every_level > 0 && (level_idx + 1).is_multiple_of(cfg.checkpoint_every_level)
+}
+
+/// The fresh-start half of [`rank_main`]'s initialization: distribute
+/// the input, reduce `2m`, and start the hierarchy at level 0. This is
+/// the loading superstep of Algorithm 2, untouched — restore runs skip
+/// it wholesale.
+fn fresh_rank_state(
+    ctx: &mut RankCtx<'_, Msg>,
+    input: &RunInput<'_>,
+    cfg: &ParallelConfig,
+    comm: &mut CommBreakdown,
+    sim: &mut SimBreakdown,
+) -> LoopState {
+    let sent0 = ctx.sent_messages();
+    let (lvl, input_edges) = match input {
+        RunInput::Replicated(edges) => {
+            let lvl = build_initial_level(ctx, edges, cfg);
+            // Attribute the shared input evenly so the sum is exact.
+            let rank = ctx.rank();
+            let m = edges.num_edges();
+            let share = m / cfg.ranks + usize::from(rank < m % cfg.ranks);
+            (lvl, share)
+        }
+        RunInput::Parts { num_vertices, f } => {
+            let part = f(ctx.rank());
+            let m = part.num_edges();
+            (
+                build_initial_level_distributed(ctx, *num_vertices, &part, cfg),
+                m,
+            )
+        }
+    };
+    comm.loading = ctx.sent_messages() - sent0;
+    // 2m is invariant across levels (reconstruction preserves weight).
+    let s = ctx.allreduce_sum(lvl.k.iter().sum());
+    // Everything up to here (edge distribution + the 2m reduction) is the
+    // loading superstep; the clock only moves at collectives, so this
+    // read is identical on every rank.
+    sim.loading = ctx.sim_clock_units();
+    // Current community of each originally-local vertex, expressed as a
+    // vertex id of the *current* level.
+    let orig_comm: Vec<u32> = lvl.part.local_vertices(ctx.rank()).collect();
+    LoopState {
+        lvl,
+        input_edges,
+        s,
+        start_level: 0,
+        orig_comm,
+        levels: Vec::new(),
+        level_orig_comms: Vec::new(),
+        q_prev_level: f64::NEG_INFINITY,
+        cache_invalidations: 0,
+        frontier_stats: FrontierStats::default(),
+        frontier_occupancy: Vec::new(),
+    }
+}
+
+/// The restart half of [`rank_main`]'s initialization: if this rank has
+/// a checkpoint slot (and checkpointing is on), rebuild the loop state
+/// from it — bit-for-bit — and seed the recorded protocol log with the
+/// checkpointed prefix so the spliced log reads exactly like an
+/// uninterrupted run's. Contains no collectives: a restored world goes
+/// straight to the resumed level's first collective, in lockstep.
+///
+/// The In-Table is rebuilt by accumulating the persisted `(key, weight)`
+/// multiset in sorted key order. Its slot layout and capacity may differ
+/// from the original table's, but every consumer folds table contents in
+/// sorted order (the determinism contract of this module), so the
+/// difference is unobservable in results.
+fn take_resume_state(
+    store: &CheckpointStore,
+    cfg: &ParallelConfig,
+    ctx: &RankCtx<'_, Msg>,
+) -> Option<LoopState> {
+    if cfg.checkpoint_every_level == 0 {
+        return None;
+    }
+    let cp = store.read_slot(ctx.rank())?;
+    assert_eq!(cp.ranks, cfg.ranks, "checkpoint is for a different world");
+    assert_eq!(cp.rank, ctx.rank(), "checkpoint slot/rank skew");
+    let prefix: Vec<CollectiveKind> = cp
+        .protocol_log
+        .iter()
+        .map(|name| match CollectiveKind::parse(name) {
+            Some(kind) => kind,
+            None => panic!("checkpoint names unknown collective {name:?}"),
+        })
+        .collect();
+    ctx.seed_protocol_log(&prefix);
+    let n = cp.n as usize;
+    let part = ModuloPartition::new(n, cfg.ranks);
+    let mut in_table = EdgeTable::new(cp.in_keys.len().max(8));
+    for (&key, &w_bits) in cp.in_keys.iter().zip(&cp.in_w_bits) {
+        in_table.accumulate(key, f64::from_bits(w_bits));
+    }
+    let lvl = RankLevel {
+        n,
+        part,
+        in_table,
+        k: cp.k_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+        label: cp.label,
+        tot: cp.tot_bits.iter().map(|&b| f64::from_bits(b)).collect(),
+        internal: cp
+            .internal_bits
+            .iter()
+            .map(|&b| f64::from_bits(b))
+            .collect(),
+        size: cp.size,
+    };
+    Some(LoopState {
+        lvl,
+        input_edges: cp.input_edges as usize,
+        s: f64::from_bits(cp.s_bits),
+        start_level: cp.next_level,
+        orig_comm: cp.orig_comm,
+        levels: cp.levels.iter().map(LevelSnapshot::restore).collect(),
+        level_orig_comms: cp.level_orig_comms,
+        q_prev_level: f64::from_bits(cp.q_prev_level_bits),
+        cache_invalidations: cp.cache_invalidations,
+        frontier_stats: cp.frontier,
+        frontier_occupancy: cp.frontier_occupancy,
+    })
+}
+
+/// Snapshots this rank's loop state into its [`CheckpointStore`] slot at
+/// the boundary into `next_level`. Called only inside the post-barrier
+/// window of the level loop (see the call site for the atomicity
+/// argument) and never inside a traced phase region (lint rule X1).
+/// Returns the rendered checkpoint size in bytes.
+#[allow(clippy::too_many_arguments)]
+fn write_level_checkpoint(
+    store: &CheckpointStore,
+    ctx: &RankCtx<'_, Msg>,
+    cfg: &ParallelConfig,
+    next_level: usize,
+    lvl: &RankLevel,
+    input_edges: usize,
+    s: f64,
+    orig_comm: &[u32],
+    levels: &[LevelInfo],
+    level_orig_comms: &[Vec<u32>],
+    q_prev_level: f64,
+    cache_invalidations: u64,
+    frontier_stats: &FrontierStats,
+    frontier_occupancy: &[u64],
+) -> u64 {
+    // The In-Table is persisted as its sorted (key, weight-bits)
+    // multiset — layout-free, like every other fold in this module.
+    let mut entries: Vec<(u64, u64)> = lvl
+        .in_table
+        .iter()
+        .map(|(key, w)| (key, w.to_bits()))
+        .collect();
+    entries.sort_unstable_by_key(|&(key, _)| key);
+    let cp = Checkpoint {
+        rank: ctx.rank(),
+        ranks: cfg.ranks,
+        next_level,
+        s_bits: s.to_bits(),
+        input_edges: input_edges as u64,
+        q_prev_level_bits: q_prev_level.to_bits(),
+        cache_invalidations,
+        n: lvl.n as u64,
+        in_keys: entries.iter().map(|&(key, _)| key).collect(),
+        in_w_bits: entries.iter().map(|&(_, bits)| bits).collect(),
+        k_bits: lvl.k.iter().map(|x| x.to_bits()).collect(),
+        label: lvl.label.clone(),
+        tot_bits: lvl.tot.iter().map(|x| x.to_bits()).collect(),
+        internal_bits: lvl.internal.iter().map(|x| x.to_bits()).collect(),
+        size: lvl.size.clone(),
+        orig_comm: orig_comm.to_vec(),
+        levels: levels.iter().map(LevelSnapshot::of).collect(),
+        level_orig_comms: level_orig_comms.to_vec(),
+        frontier: *frontier_stats,
+        frontier_occupancy: frontier_occupancy.to_vec(),
+        protocol_log: ctx
+            .protocol_log_snapshot()
+            .iter()
+            .map(|kind| kind.name().to_string())
+            .collect(),
+    };
+    store.save_slot(&cp)
 }
 
 /// Distributes the input edge list into per-rank In-Tables (Algorithm 2,

@@ -27,6 +27,7 @@
 //! a phase, only the final value of a key is observable anyway (see
 //! DESIGN.md §10).
 
+use crate::fault::{Packet, PacketFault};
 use crate::sim::PerturbRng;
 use crate::world::{CollectiveKind, RankCtx};
 use std::collections::BTreeMap;
@@ -59,6 +60,16 @@ pub struct Exchange<'a, 'w, M: Send> {
     /// Rank-cumulative [`RankCtx::bytes_sent`] when the phase opened, so
     /// `finish` can attribute a byte delta to this phase alone.
     bytes_at_start: u64,
+    /// Packets this rank has handed to the wire this phase (fault keying
+    /// ordinal; counted whether or not the packet is faulted).
+    xmit_ordinal: u64,
+    /// Fault layer: packets held back by a `Delay` decision, per
+    /// destination — re-wired after the next packet to that destination
+    /// (reordering them) or at [`Exchange::finish`].
+    delayed: Vec<Vec<Vec<M>>>,
+    /// Fault layer: packets swallowed by a `Drop` decision, retransmitted
+    /// at [`Exchange::finish`] before the quiescence counts post.
+    dropped: Vec<(usize, Vec<M>)>,
     /// Call site of `ctx.exchange()`, reported by protocol diagnostics.
     loc: &'static Location<'static>,
 }
@@ -92,6 +103,9 @@ impl<'w, M: Send> RankCtx<'w, M> {
             self_rank: rank,
             phase,
             bytes_at_start: self.bytes_sent.get(),
+            xmit_ordinal: 0,
+            delayed: (0..p).map(|_| Vec::new()).collect(),
+            dropped: Vec::new(),
             loc: Location::caller(),
             ctx: self,
         }
@@ -181,6 +195,95 @@ impl<'a, 'w, M: Send> Exchange<'a, 'w, M> {
             .world
             .packet_counter
             .fetch_add(1, Ordering::Relaxed);
+        self.transmit(dest, packet);
+    }
+
+    /// Hands one fully-accounted packet to the wire, applying the fault
+    /// plan's decision for it. All logical accounting (message counts,
+    /// bytes, the reconciliation matrix, the packet counter) happened in
+    /// [`Exchange::flush_packet`] before this point, so every fault is
+    /// invisible to quiescence and to [`CommStats`](crate::CommStats) —
+    /// faults perturb the wire, never the bookkeeping.
+    fn transmit(&mut self, dest: usize, msgs: Vec<M>) {
+        let decision = self.ctx.packet_fault(dest, self.phase, self.xmit_ordinal);
+        self.xmit_ordinal += 1;
+        match decision {
+            None => {
+                self.wire(
+                    dest,
+                    Packet {
+                        redundant: false,
+                        msgs,
+                    },
+                );
+                self.release_delayed(dest);
+            }
+            Some(PacketFault::Duplicate) => {
+                self.ctx.fault_dups.set(self.ctx.fault_dups.get() + 1);
+                self.wire(
+                    dest,
+                    Packet {
+                        redundant: false,
+                        msgs,
+                    },
+                );
+                // The injected copy is tagged and empty: receivers
+                // discard it unread (`M` need not be `Clone`), so a
+                // duplicate can never re-deliver its messages.
+                self.wire(
+                    dest,
+                    Packet {
+                        redundant: true,
+                        msgs: Vec::new(),
+                    },
+                );
+                self.release_delayed(dest);
+            }
+            Some(PacketFault::Delay) => {
+                self.ctx.fault_delays.set(self.ctx.fault_delays.get() + 1);
+                self.delayed[dest].push(msgs);
+            }
+            Some(PacketFault::Drop) => {
+                self.ctx.fault_drops.set(self.ctx.fault_drops.get() + 1);
+                self.dropped.push((dest, msgs));
+            }
+        }
+    }
+
+    /// Re-wires packets held by earlier `Delay` decisions for `dest`,
+    /// now that a later packet has overtaken them.
+    fn release_delayed(&mut self, dest: usize) {
+        for msgs in std::mem::take(&mut self.delayed[dest]) {
+            self.wire(
+                dest,
+                Packet {
+                    redundant: false,
+                    msgs,
+                },
+            );
+        }
+    }
+
+    /// Flushes everything the fault layer still holds — dropped packets
+    /// (their retransmission) and delayed packets with no later packet to
+    /// hide behind. Must run before the send counts post: quiescence
+    /// counts promise these messages to their receivers.
+    fn flush_held(&mut self) {
+        for dest in 0..self.delayed.len() {
+            self.release_delayed(dest);
+        }
+        for (dest, msgs) in std::mem::take(&mut self.dropped) {
+            self.wire(
+                dest,
+                Packet {
+                    redundant: false,
+                    msgs,
+                },
+            );
+        }
+    }
+
+    fn wire(&mut self, dest: usize, packet: Packet<M>) {
         self.ctx.world.senders[dest]
             .send(packet)
             // lint: allow(P1) — send fails only if a peer rank thread panicked; aborting is correct
@@ -206,6 +309,9 @@ impl<'a, 'w, M: Send> Exchange<'a, 'w, M> {
             let packet = std::mem::take(&mut self.outbufs[dest]);
             self.flush_packet(dest, packet);
         }
+        // Retransmit dropped packets and release remaining delayed ones
+        // before the counts below promise them to their receivers.
+        self.flush_held();
         // Post our send-count row (self-sends never touch the channel).
         {
             let mut counts = self.ctx.world.counts.lock();
@@ -312,11 +418,21 @@ impl<'a, 'w, M: Send> Exchange<'a, 'w, M> {
     }
 
     fn recv_packet(&mut self) -> Vec<M> {
-        self.ctx
-            .rx
-            .recv()
-            // lint: allow(P1) — recv fails only if a peer rank thread panicked; aborting is correct
-            .expect("senders alive for the duration of the run")
+        loop {
+            let packet = self
+                .ctx
+                .rx
+                .recv()
+                // lint: allow(P1) — recv fails only if a peer rank thread panicked; aborting is correct
+                .expect("senders alive for the duration of the run");
+            if packet.redundant {
+                // An injected duplicate: discard unread. Not counted
+                // toward `expected` — the logical stream never contained
+                // it.
+                continue;
+            }
+            return packet.msgs;
+        }
     }
 
     /// Compares the posted send-count matrix against the messages

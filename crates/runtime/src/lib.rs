@@ -35,11 +35,14 @@
 
 pub mod collectives;
 pub mod exchange;
+pub mod fault;
 pub mod scan;
 pub mod sim;
 pub mod world;
 
 pub use exchange::Exchange;
+pub use fault::{CrashPoint, FaultPlan, FaultStats, RunOutcome};
 pub use world::{
-    run, run_with_config, run_with_config_logged, CollectiveKind, CommStats, RankCtx, RuntimeConfig,
+    run, run_with_config, run_with_config_faulted, run_with_config_logged, CollectiveKind,
+    CommStats, RankCtx, RuntimeConfig,
 };

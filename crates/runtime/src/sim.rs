@@ -70,6 +70,11 @@ impl<'w, M: Send> RankCtx<'w, M> {
         }
         self.wait_raw();
         let clock = self.world.sim.lock().clock;
+        // Scheduled rank crashes fire here — after every rank has passed
+        // this sync's final barrier, so all ranks agree on `clock`, no
+        // barrier is left short, and the victim dies exactly *between*
+        // BSP supersteps (see `crate::fault`).
+        self.maybe_crash(clock);
         self.syncs.set(self.syncs.get() + 1);
         louvain_trace::emit_with(|| louvain_trace::Event::Sync {
             seq: self.syncs.get(),

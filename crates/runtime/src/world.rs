@@ -1,5 +1,8 @@
 //! World construction, rank contexts, and the scoped-thread launcher.
 
+use crate::fault::{
+    FaultPlan, FaultState, FaultStats, Packet, RankLost, RunOutcome, SimulatedCrash,
+};
 use crate::sim::SimState;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -101,6 +104,46 @@ impl std::fmt::Display for CollectiveKind {
     }
 }
 
+impl CollectiveKind {
+    /// Stable textual name, used by checkpoint serialization to persist a
+    /// recorded protocol-log prefix.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Idle => "Idle",
+            Self::Barrier => "Barrier",
+            Self::ReduceF64 => "ReduceF64",
+            Self::ReduceU64 => "ReduceU64",
+            Self::AllreduceSumVec => "AllreduceSumVec",
+            Self::AllgatherF64 => "AllgatherF64",
+            Self::BroadcastF64 => "BroadcastF64",
+            Self::ExscanSumU64 => "ExscanSumU64",
+            Self::SimSync => "SimSync",
+            Self::Exchange => "Exchange",
+            Self::Shutdown => "Shutdown",
+        }
+    }
+
+    /// Inverse of [`CollectiveKind::name`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "Idle" => Self::Idle,
+            "Barrier" => Self::Barrier,
+            "ReduceF64" => Self::ReduceF64,
+            "ReduceU64" => Self::ReduceU64,
+            "AllreduceSumVec" => Self::AllreduceSumVec,
+            "AllgatherF64" => Self::AllgatherF64,
+            "BroadcastF64" => Self::BroadcastF64,
+            "ExscanSumU64" => Self::ExscanSumU64,
+            "SimSync" => Self::SimSync,
+            "Exchange" => Self::Exchange,
+            "Shutdown" => Self::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
 /// Per-rank protocol shadow state: operation sequence numbers, collective
 /// type tags, and the user call site of the collective currently being
 /// entered. Only consulted when [`RuntimeConfig::check_protocol`] is set.
@@ -131,7 +174,7 @@ pub struct CommStats {
 pub(crate) struct World<M: Send> {
     pub(crate) p: usize,
     pub(crate) coalesce: usize,
-    pub(crate) senders: Vec<Sender<Vec<M>>>,
+    pub(crate) senders: Vec<Sender<Packet<M>>>,
     pub(crate) barrier: Barrier,
     /// One f64 slot per rank for scalar reductions.
     pub(crate) f64_slots: Mutex<Vec<f64>>,
@@ -159,6 +202,9 @@ pub(crate) struct World<M: Send> {
     pub(crate) sim: Mutex<SimState>,
     pub(crate) sync_latency_units: f64,
     pub(crate) charge_per_message: f64,
+    /// Fault-injection state, present only under
+    /// [`run_with_config_faulted`].
+    pub(crate) fault: Option<FaultState>,
 }
 
 /// Per-rank handle: the only way a rank interacts with the rest of the
@@ -166,7 +212,7 @@ pub(crate) struct World<M: Send> {
 pub struct RankCtx<'w, M: Send> {
     pub(crate) rank: usize,
     pub(crate) world: &'w World<M>,
-    pub(crate) rx: Receiver<Vec<M>>,
+    pub(crate) rx: Receiver<Packet<M>>,
     /// Messages this rank has sent (all phases).
     pub(crate) sent_messages: u64,
     /// BSP work charged since the last simulated synchronization.
@@ -182,6 +228,14 @@ pub struct RankCtx<'w, M: Send> {
     /// Observed collective sequence (program order), populated only when
     /// [`RuntimeConfig::record_protocol`] is set.
     pub(crate) protocol_log: RefCell<Vec<CollectiveKind>>,
+    /// Packets this rank dropped (and retransmitted) under fault
+    /// injection — rank-local program-order quantities, so trace samples
+    /// built from them stay schedule-invariant.
+    pub(crate) fault_drops: Cell<u64>,
+    /// Packets this rank sent with an injected redundant copy.
+    pub(crate) fault_dups: Cell<u64>,
+    /// Packets this rank delayed past a later packet.
+    pub(crate) fault_delays: Cell<u64>,
 }
 
 impl<'w, M: Send> RankCtx<'w, M> {
@@ -229,6 +283,81 @@ impl<'w, M: Send> RankCtx<'w, M> {
         self.dedup_hits.get()
     }
 
+    /// `true` when this world runs under fault injection
+    /// ([`run_with_config_faulted`]) with a non-empty plan.
+    #[must_use]
+    pub fn fault_injection_active(&self) -> bool {
+        self.world.fault.is_some()
+    }
+
+    /// Transport faults this rank has injected so far (the `crashes`
+    /// field is always 0 here: a crash is a world-level outcome, reported
+    /// by [`RunOutcome::Crashed`]). Rank-local program-order quantities,
+    /// schedule-invariant like every other per-rank counter.
+    #[must_use]
+    pub fn fault_counters(&self) -> FaultStats {
+        FaultStats {
+            packets_dropped: self.fault_drops.get(),
+            packets_duplicated: self.fault_dups.get(),
+            packets_delayed: self.fault_delays.get(),
+            crashes: 0,
+        }
+    }
+
+    /// Snapshot of the collective sequence recorded so far (empty unless
+    /// [`RuntimeConfig::record_protocol`] is set). Checkpoints persist
+    /// this so a restarted run can splice the pre-crash prefix back in.
+    #[must_use]
+    pub fn protocol_log_snapshot(&self) -> Vec<CollectiveKind> {
+        self.protocol_log.borrow().clone()
+    }
+
+    /// Replaces the recorded collective sequence with `prefix` — used by
+    /// checkpoint restore, *before* the first collective of the resumed
+    /// run, so the spliced log reads exactly like an uninterrupted run's.
+    pub fn seed_protocol_log(&self, prefix: &[CollectiveKind]) {
+        let mut log = self.protocol_log.borrow_mut();
+        log.clear();
+        log.extend_from_slice(prefix);
+    }
+
+    /// Fires a scheduled crash for this rank at post-sync clock `clock`:
+    /// records the crash for the survivors' diagnosis and unwinds. Called
+    /// by [`RankCtx::sim_sync`] after every rank has passed the sync's
+    /// final barrier (so all ranks agree on `clock` and no rank is left
+    /// mid-protocol), which makes the sim-sync boundary the only place a
+    /// rank can die — a faithful model of a machine lost between BSP
+    /// supersteps.
+    pub(crate) fn maybe_crash(&self, clock: f64) {
+        let Some(fault) = &self.world.fault else {
+            return;
+        };
+        let Some(cp) = fault.plan.next_crash(clock) else {
+            return;
+        };
+        if cp.rank != self.rank {
+            return;
+        }
+        *fault.crashed.lock() = Some(cp);
+        std::panic::panic_any(SimulatedCrash { rank: cp.rank });
+    }
+
+    /// The transport fault (if any) for this rank's next packet to
+    /// `dest`, keyed on the phase, per-phase packet ordinal, and current
+    /// simulated clock.
+    pub(crate) fn packet_fault(
+        &self,
+        dest: usize,
+        phase: u64,
+        ordinal: u64,
+    ) -> Option<crate::fault::PacketFault> {
+        let fault = self.world.fault.as_ref()?;
+        let clock_bits = self.world.sim.lock().clock.to_bits();
+        fault
+            .plan
+            .packet_fault(self.rank as u64, dest as u64, phase, ordinal, clock_bits)
+    }
+
     /// Blocks until every rank reaches the barrier.
     #[track_caller]
     pub fn barrier(&self) {
@@ -270,6 +399,31 @@ impl<'w, M: Send> RankCtx<'w, M> {
             let sh = self.world.shadow.lock();
             let me = (sh.seq[self.rank], sh.kind[self.rank]);
             if (0..self.world.p).any(|r| (sh.seq[r], sh.kind[r]) != me) {
+                // A mismatch whose only out-of-step rank is a recorded
+                // crash victim sitting in its Shutdown rendezvous is not
+                // a protocol bug — it is the detection signal for rank
+                // loss. Every rank (survivors and victim alike) reaches
+                // this point in the same inspection round and unwinds
+                // with the same payload, keeping barrier counts
+                // consistent; the crash record was written before the
+                // victim's Shutdown entry, so the intervening barrier
+                // ordered it before this read.
+                let crash = self.world.fault.as_ref().and_then(|f| *f.crashed.lock());
+                if let Some(cp) = crash {
+                    let survivors_agree = {
+                        let mut it = (0..self.world.p)
+                            .filter(|&r| r != cp.rank)
+                            .map(|r| (sh.seq[r], sh.kind[r]));
+                        let first = it.next();
+                        first.is_none_or(|f0| it.all(|x| x == f0))
+                    };
+                    if survivors_agree
+                        && cp.rank < self.world.p
+                        && sh.kind[cp.rank] == CollectiveKind::Shutdown
+                    {
+                        std::panic::panic_any(RankLost { rank: cp.rank });
+                    }
+                }
                 let mut detail = String::new();
                 for r in 0..self.world.p {
                     let site = sh.loc[r].map_or_else(
@@ -319,13 +473,81 @@ where
     R: Send,
     F: Fn(&mut RankCtx<'_, M>) -> R + Sync,
 {
+    match run_world(cfg, None, f) {
+        RunOutcome::Completed {
+            results,
+            stats,
+            logs,
+            ..
+        } => (results, stats, logs),
+        // No fault plan means no scheduled crashes.
+        RunOutcome::Crashed { .. } => unreachable!("crash without a fault plan"),
+    }
+}
+
+/// [`run_with_config`] under deterministic fault injection: transport
+/// faults from `plan` are injected (and masked) by the messaging layer,
+/// and a scheduled rank crash tears the world down into
+/// [`RunOutcome::Crashed`] instead of completing. Crash detection rides
+/// on the collective protocol shadow, so `check_protocol` is forced on
+/// whenever the plan schedules crashes.
+///
+/// Panics that are *not* injected faults (genuine bugs, protocol
+/// mismatches unrelated to the crash) propagate to the caller unchanged.
+pub fn run_with_config_faulted<M, R, F>(
+    mut cfg: RuntimeConfig,
+    plan: &FaultPlan,
+    f: F,
+) -> RunOutcome<R>
+where
+    M: Send,
+    R: Send,
+    F: Fn(&mut RankCtx<'_, M>) -> R + Sync,
+{
+    if !plan.crashes.is_empty() {
+        cfg.check_protocol = true;
+        install_crash_panic_silencer();
+    }
+    run_world(cfg, Some(plan), f)
+}
+
+/// Installs (once per process) a delegating panic hook that suppresses
+/// the default stderr report for the runtime's *injected* panic payloads
+/// — [`SimulatedCrash`] and [`RankLost`] are caught and handled by the
+/// rank-thread wrappers, so printing them would spam every chaos test —
+/// while every other panic keeps the previous hook's behavior.
+fn install_crash_panic_silencer() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimulatedCrash>().is_some()
+                || info.payload().downcast_ref::<RankLost>().is_some()
+            {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// The shared launcher behind [`run_with_config_logged`] and
+/// [`run_with_config_faulted`]: builds the world (with fault state iff a
+/// plan is given), runs one closure per rank thread, and classifies the
+/// outcome.
+fn run_world<M, R, F>(cfg: RuntimeConfig, plan: Option<&FaultPlan>, f: F) -> RunOutcome<R>
+where
+    M: Send,
+    R: Send,
+    F: Fn(&mut RankCtx<'_, M>) -> R + Sync,
+{
     assert!(cfg.ranks >= 1, "at least one rank required");
     assert!(cfg.coalesce_capacity >= 1, "coalesce capacity must be >= 1");
     let p = cfg.ranks;
     let mut senders = Vec::with_capacity(p);
     let mut receivers = Vec::with_capacity(p);
     for _ in 0..p {
-        let (tx, rx) = unbounded::<Vec<M>>();
+        let (tx, rx) = unbounded::<Packet<M>>();
         senders.push(tx);
         receivers.push(rx);
     }
@@ -357,8 +579,15 @@ where
         }),
         sync_latency_units: cfg.sync_latency_units,
         charge_per_message: cfg.charge_per_message,
+        fault: plan.map(|plan| FaultState {
+            plan: plan.clone(),
+            crashed: Mutex::new(None),
+            drops: AtomicU64::new(0),
+            dups: AtomicU64::new(0),
+            delays: AtomicU64::new(0),
+        }),
     };
-    let results: Vec<R> = std::thread::scope(|s| {
+    let results: Vec<Option<R>> = std::thread::scope(|s| {
         let world = &world;
         let f = &f;
         let handles: Vec<_> = receivers
@@ -377,22 +606,42 @@ where
                         bytes_sent: Cell::new(0),
                         dedup_hits: Cell::new(0),
                         protocol_log: RefCell::new(Vec::new()),
+                        fault_drops: Cell::new(0),
+                        fault_dups: Cell::new(0),
+                        fault_delays: Cell::new(0),
                     };
-                    let out = f(&mut ctx);
-                    if world.check_protocol || world.record_protocol {
-                        // A rank that returned while a peer is still in a
-                        // collective would leave that peer blocked on the
-                        // barrier forever; entering Shutdown here turns
-                        // the drift into a protocol-mismatch diagnostic
-                        // (and stamps the recorded sequences' terminator).
-                        ctx.enter_collective(CollectiveKind::Shutdown, Location::caller());
-                    }
+                    let out = if world.fault.is_none() {
+                        let out = f(&mut ctx);
+                        if world.check_protocol || world.record_protocol {
+                            // A rank that returned while a peer is still
+                            // in a collective would leave that peer
+                            // blocked on the barrier forever; entering
+                            // Shutdown here turns the drift into a
+                            // protocol-mismatch diagnostic (and stamps
+                            // the recorded sequences' terminator).
+                            ctx.enter_collective(CollectiveKind::Shutdown, Location::caller());
+                        }
+                        Some(out)
+                    } else {
+                        run_rank_faulted(world, &mut ctx, f)
+                    };
                     world
                         .msg_counter
                         .fetch_add(ctx.sent_messages, Ordering::Relaxed);
                     world
                         .dedup_counter
                         .fetch_add(ctx.dedup_hits.get(), Ordering::Relaxed);
+                    if let Some(fault) = &world.fault {
+                        fault
+                            .drops
+                            .fetch_add(ctx.fault_drops.get(), Ordering::Relaxed);
+                        fault
+                            .dups
+                            .fetch_add(ctx.fault_dups.get(), Ordering::Relaxed);
+                        fault
+                            .delays
+                            .fetch_add(ctx.fault_delays.get(), Ordering::Relaxed);
+                    }
                     if world.record_protocol {
                         world.protocol_logs.lock()[rank] = ctx.protocol_log.take();
                     }
@@ -410,13 +659,93 @@ where
             })
             .collect()
     });
+    let crash = world.fault.as_ref().and_then(|f| *f.crashed.lock());
+    let faults = FaultStats {
+        packets_dropped: world
+            .fault
+            .as_ref()
+            .map_or(0, |f| f.drops.load(Ordering::Relaxed)),
+        packets_duplicated: world
+            .fault
+            .as_ref()
+            .map_or(0, |f| f.dups.load(Ordering::Relaxed)),
+        packets_delayed: world
+            .fault
+            .as_ref()
+            .map_or(0, |f| f.delays.load(Ordering::Relaxed)),
+        crashes: u64::from(crash.is_some()),
+    };
+    if let Some(cp) = crash {
+        return RunOutcome::Crashed {
+            rank: cp.rank,
+            at_clock: cp.at_clock,
+            faults,
+        };
+    }
     let stats = CommStats {
         messages: world.msg_counter.load(Ordering::Relaxed),
         packets: world.packet_counter.load(Ordering::Relaxed),
         dedup_hits: world.dedup_counter.load(Ordering::Relaxed),
     };
     let logs = std::mem::take(&mut *world.protocol_logs.lock());
-    (results, stats, logs)
+    let results = results
+        .into_iter()
+        .enumerate()
+        .map(|(rank, out)| {
+            out.unwrap_or_else(|| unreachable!("rank {rank} produced no output without a crash"))
+        })
+        .collect();
+    RunOutcome::Completed {
+        results,
+        stats,
+        logs,
+        faults,
+    }
+}
+
+/// One rank's execution under fault injection. Injected panics
+/// ([`SimulatedCrash`] on the victim, [`RankLost`] on survivors) are
+/// caught here and resolved to `None`; every other panic propagates.
+///
+/// The victim participates in exactly one more rendezvous after
+/// unwinding — the implicit `Shutdown` entry — so the survivors' next
+/// collective observes the out-of-step `Shutdown` slot and diagnoses the
+/// loss instead of deadlocking on a barrier that would never fill. All
+/// ranks leave that rendezvous by unwinding before its trailing barrier,
+/// keeping the per-barrier arrival counts consistent.
+fn run_rank_faulted<M, R, F>(world: &World<M>, ctx: &mut RankCtx<'_, M>, f: &F) -> Option<R>
+where
+    M: Send,
+    F: Fn(&mut RankCtx<'_, M>) -> R + Sync,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    match catch_unwind(AssertUnwindSafe(|| f(&mut *ctx))) {
+        Ok(out) => {
+            // The Shutdown rendezvous itself can diagnose a peer that
+            // crashed at the program's final sync, so it needs the same
+            // classification as the main closure.
+            match catch_unwind(AssertUnwindSafe(|| {
+                if world.check_protocol || world.record_protocol {
+                    ctx.enter_collective(CollectiveKind::Shutdown, Location::caller());
+                }
+            })) {
+                Ok(()) => Some(out),
+                Err(payload) if payload.downcast_ref::<RankLost>().is_some() => None,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        Err(payload) if payload.downcast_ref::<SimulatedCrash>().is_some() => {
+            // The victim: join the detection rendezvous (the survivors'
+            // next collective) exactly once, swallowing the RankLost it
+            // raises for us too.
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                ctx.enter_collective(CollectiveKind::Shutdown, Location::caller());
+            }));
+            None
+        }
+        Err(payload) if payload.downcast_ref::<RankLost>().is_some() => None,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
 }
 
 /// [`run_with_config`] with the default coalescing capacity.

@@ -175,7 +175,12 @@ pub enum Event {
     /// find-best sweep), `frontier.reactivations` (vertices woken back
     /// onto the frontier after going inactive), and
     /// `frontier.skipped_scans` (vertices the full scan would have
-    /// visited but the frontier skipped).
+    /// visited but the frontier skipped), the checkpoint subsystem's
+    /// `checkpoint.count` (level-boundary checkpoints written) and
+    /// `checkpoint.bytes` (serialized checkpoint volume), and the fault
+    /// injector's `fault.packets_dropped`, `fault.packets_duplicated`,
+    /// and `fault.packets_delayed` (transport faults applied by the
+    /// active `FaultPlan`; all zero on a fault-free run).
     Count {
         /// Stable counter name.
         name: &'static str,

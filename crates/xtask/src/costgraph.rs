@@ -775,13 +775,11 @@ fn m1_walk(nodes: &[CNode], data: &mut Vec<AbsClass>, out: &mut Vec<ProtocolFind
     }
 }
 
-/// Rule A1: per-iteration allocation inside a traced phase region.
-/// Lexical pass: regions are `emit_with(.. Event::Enter ..)` to the
-/// next `emit_with(.. Event::Exit ..)`; inside, any loop body that
-/// binds `Vec::new()`/`vec![]` and grows it with `push`/`extend`
-/// without an intervening `reserve` is a hot-path allocation.
-fn check_a1(stream: &Stream) -> Vec<ProtocolFinding> {
-    // Locate emit_with spans and classify them.
+/// Locate every `emit_with(..)` argument span and classify it:
+/// `Some(true)` for `Event::Enter`, `Some(false)` for `Event::Exit`,
+/// `None` for counters and other events. Shared by the A1 and X1
+/// passes, which both reason about `Enter`-to-`Exit` traced regions.
+fn emit_spans(stream: &Stream) -> Vec<(usize, usize, Option<bool>)> {
     let mut spans: Vec<(usize, usize, Option<bool>)> = Vec::new(); // (open, close, enter?)
     let mut i = 0usize;
     while i < stream.len() {
@@ -817,6 +815,16 @@ fn check_a1(stream: &Stream) -> Vec<ProtocolFinding> {
         }
         i += 1;
     }
+    spans
+}
+
+/// Rule A1: per-iteration allocation inside a traced phase region.
+/// Lexical pass: regions are `emit_with(.. Event::Enter ..)` to the
+/// next `emit_with(.. Event::Exit ..)`; inside, any loop body that
+/// binds `Vec::new()`/`vec![]` and grows it with `push`/`extend`
+/// without an intervening `reserve` is a hot-path allocation.
+fn check_a1(stream: &Stream) -> Vec<ProtocolFinding> {
+    let spans = emit_spans(stream);
     let in_emit_span = |pos: usize| spans.iter().any(|&(s, e, _)| pos >= s && pos < e);
     let mut out = Vec::new();
     for (ei, &(_, enter_end, kind)) in spans.iter().enumerate() {
@@ -944,6 +952,64 @@ fn check_a1_loop_body(
     }
 }
 
+/// The call names rule X1 treats as checkpoint I/O: the
+/// `CheckpointStore` slot surface plus the solver's serialization
+/// helpers. `checkpoint_due` is deliberately absent — the cadence
+/// predicate is pure arithmetic and is *expected* inside the driver
+/// loop.
+const X1_CHECKPOINT_IO: [&str; 4] = [
+    "save_slot",
+    "read_slot",
+    "write_level_checkpoint",
+    "take_resume_state",
+];
+
+/// Rule X1: no checkpoint I/O inside a traced phase region. Regions
+/// are the same `Event::Enter`-to-`Event::Exit` brackets the A1 pass
+/// scans; inside one, any call to the checkpoint surface
+/// ([`X1_CHECKPOINT_IO`]) serializes rank state on the measured hot
+/// path and skews the per-phase clock attribution (Figure 8). The
+/// solver takes checkpoints at level boundaries, after the
+/// reconstruction `Exit` — this rule keeps it that way.
+fn check_x1(stream: &Stream) -> Vec<ProtocolFinding> {
+    let spans = emit_spans(stream);
+    let mut out = Vec::new();
+    for (ei, &(_, enter_end, kind)) in spans.iter().enumerate() {
+        if kind != Some(true) {
+            continue;
+        }
+        let Some(&(exit_start, _, _)) = spans[ei + 1..].iter().find(|&&(_, _, k)| k == Some(false))
+        else {
+            continue;
+        };
+        let mut i = enter_end;
+        while i < exit_start {
+            if !is_ident_char(stream[i].0) || prev_is_ident(stream, i) {
+                i += 1;
+                continue;
+            }
+            let w = read_word(stream, i);
+            let after = skip_ws(stream, i + w.len());
+            let is_call = stream.get(after).map(|&(c, _)| c) == Some('(');
+            if is_call && X1_CHECKPOINT_IO.contains(&w.as_str()) {
+                out.push(ProtocolFinding {
+                    line: stream[i].1,
+                    rule: Rule::X1,
+                    message: format!(
+                        "checkpoint I/O `{w}(..)` inside a traced phase region: \
+                         serializing rank state between `Event::Enter` and \
+                         `Event::Exit` charges bookkeeping to the phase clock and \
+                         distorts the per-phase breakdown (move the call to the \
+                         level boundary, outside every traced bracket)"
+                    ),
+                });
+            }
+            i += w.len().max(1);
+        }
+    }
+    out
+}
+
 /// First `;` at depth 0 after `s` (statement end), capped at `e`.
 fn expr_stmt_end(stream: &Stream, s: usize, e: usize) -> usize {
     let mut depth = 0i32;
@@ -982,8 +1048,9 @@ fn method_on(stream: &Stream, i: usize, name: &str) -> Option<String> {
 }
 
 /// Run the cost checks (M1 payload classification, A1 hot-loop
-/// allocation) over one file's stripped stream. Same-file scope only —
-/// the interprocedural mode is the spec extraction.
+/// allocation, X1 checkpoint placement) over one file's stripped
+/// stream. Same-file scope only — the interprocedural mode is the spec
+/// extraction.
 pub(crate) fn check_stream_cost(stream: &Stream) -> Vec<ProtocolFinding> {
     let file = analyze_cost_stream("", stream);
     let mut out = Vec::new();
@@ -991,6 +1058,7 @@ pub(crate) fn check_stream_cost(stream: &Stream) -> Vec<ProtocolFinding> {
         m1_walk(&f.tree, &mut Vec::new(), &mut out);
     }
     out.extend(check_a1(stream));
+    out.extend(check_x1(stream));
     out.sort_by_key(|a| (a.line, a.rule));
     out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
     out
@@ -1534,6 +1602,47 @@ fn f(ctx: &mut Ctx, labels: &[f64]) {
     let gathered = ctx.allgather_f64(&snapshot);
 }
 ";
+        assert_eq!(findings_of(src), Vec::new());
+    }
+
+    #[test]
+    fn checkpoint_io_inside_traced_region_fires_x1() {
+        let src = r#"
+fn f(ctx: &mut Ctx, store: &CheckpointStore) {
+    louvain_trace::emit_with(|| Event::Enter { phase: "refine", clock: 0 });
+    let bytes = store.save_slot(&cp);
+    louvain_trace::emit_with(|| Event::Exit { phase: "refine", clock: 0 });
+}
+"#;
+        assert_eq!(findings_of(src), vec![(4, Rule::X1)]);
+    }
+
+    #[test]
+    fn checkpoint_helper_call_inside_traced_region_fires_x1() {
+        let src = r#"
+fn f(ctx: &mut Ctx, store: &CheckpointStore) {
+    louvain_trace::emit_with(|| Event::Enter { phase: "reconstruction", clock: 0 });
+    let bytes = write_level_checkpoint(store, ctx);
+    louvain_trace::emit_with(|| Event::Exit { phase: "reconstruction", clock: 0 });
+}
+"#;
+        assert_eq!(findings_of(src), vec![(4, Rule::X1)]);
+    }
+
+    #[test]
+    fn checkpoint_io_outside_traced_region_is_clean() {
+        // The sanctioned placement: cadence predicate inside the loop,
+        // I/O after the phase Exit — exactly the level-boundary hook.
+        let src = r#"
+fn f(ctx: &mut Ctx, store: &CheckpointStore) {
+    louvain_trace::emit_with(|| Event::Enter { phase: "refine", clock: 0 });
+    work(ctx);
+    louvain_trace::emit_with(|| Event::Exit { phase: "refine", clock: 0 });
+    if checkpoint_due(cfg, level_idx) {
+        let bytes = write_level_checkpoint(store, ctx);
+    }
+}
+"#;
         assert_eq!(findings_of(src), Vec::new());
     }
 

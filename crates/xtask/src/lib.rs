@@ -22,6 +22,7 @@
 //! | `T1` | no wall-clock reads (`Instant::now`, `SystemTime::now`) on traced solver/runtime paths (`crates/{core,runtime,trace}`) outside the sanctioned `crates/core/src/timing.rs` module — wall time must never reach a deterministic trace or `BENCH_*.json` |
 //! | `M1` | no collective/exchange site whose payload classifies `Unbounded` in the cost analysis — every shipped buffer or loop-driven send volume must trace to a recognized solver quantity (deltas, n_local, local_arcs, a constant, or a parameter) |
 //! | `A1` | no `Vec::new()`/`vec![]` grown with `push`/`extend` inside a loop of a traced (`Event::Enter`/`Event::Exit`-bracketed) phase region — per-iteration allocation on the measured hot path |
+//! | `X1` | no checkpoint I/O (`save_slot`/`read_slot`/the checkpoint serialization helpers) inside a traced phase region — rank-state serialization is level-boundary bookkeeping and must not be charged to a phase's clock |
 //! | `SUP` | every suppression comment carries a non-empty reason |
 //!
 //! Suppress a finding with a comment of the form `lint: allow(D1) — reason`

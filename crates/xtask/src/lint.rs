@@ -68,13 +68,21 @@ pub enum Rule {
     /// `Event::Enter`/`Event::Exit`-bracketed phase region, without a
     /// dominating `reserve`/`with_capacity`.
     A1,
+    /// Checkpoint I/O inside a traced phase region: a
+    /// `CheckpointStore` access (`save_slot`/`read_slot`) or a
+    /// checkpoint serialization helper called between `Event::Enter`
+    /// and `Event::Exit`. Checkpointing is bookkeeping, not algorithm
+    /// work — inside a phase bracket it distorts the per-phase clock
+    /// attribution the paper's Figure 8 breakdown rests on, so it must
+    /// happen at level boundaries outside every traced region.
+    X1,
     /// Suppression comment without a reason.
     Sup,
 }
 
 impl Rule {
     /// All rules, in report order.
-    pub const ALL: [Rule; 15] = [
+    pub const ALL: [Rule; 16] = [
         Rule::D1,
         Rule::F1,
         Rule::F2,
@@ -89,6 +97,7 @@ impl Rule {
         Rule::T1,
         Rule::M1,
         Rule::A1,
+        Rule::X1,
         Rule::Sup,
     ];
 
@@ -110,6 +119,7 @@ impl Rule {
             Rule::T1 => "T1",
             Rule::M1 => "M1",
             Rule::A1 => "A1",
+            Rule::X1 => "X1",
             Rule::Sup => "SUP",
         }
     }
@@ -183,15 +193,16 @@ fn json_escape(s: &str) -> String {
 /// keys. Version 2 introduced the field itself alongside rules R1–R3;
 /// version 3 added `bench_snapshot_schema_version`; version 4 added the
 /// phase-graph rules R4/R5 and `protocol_spec_schema_version`; version
-/// 5 added the cost rules M1/A1 and `cost_spec_schema_version`.
-pub const JSON_SCHEMA_VERSION: u32 = 5;
+/// 5 added the cost rules M1/A1 and `cost_spec_schema_version`; version
+/// 6 added the checkpoint-placement rule X1.
+pub const JSON_SCHEMA_VERSION: u32 = 6;
 
 /// The `schema_version` of `BENCH_louvain.json` emitted by
 /// `louvain-bench bench-snapshot`, republished here so `xtask --json`
 /// consumers learn about snapshot compatibility from one report. Must
 /// track `louvain_bench::snapshot::SCHEMA_VERSION` (xtask deliberately
 /// has no dependencies, so a source-reading test enforces the match).
-pub const BENCH_SNAPSHOT_SCHEMA_VERSION: u64 = 3;
+pub const BENCH_SNAPSHOT_SCHEMA_VERSION: u64 = 4;
 
 /// Render findings as a JSON report: schema version, rule counts, and
 /// the finding list.

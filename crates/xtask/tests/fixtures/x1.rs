@@ -1,0 +1,19 @@
+// lint-fixture-path: crates/core/src/fixture_x1.rs
+//! X1 fixture: checkpoint I/O inside a traced phase region — the rank
+//! serializes its solver state to the `CheckpointStore` between the
+//! `Event::Enter` and `Event::Exit` markers, charging checkpoint
+//! bookkeeping to the phase clock (DESIGN.md §14).
+
+/// The slot write sits inside the measured `refine` bracket instead of
+/// at the level boundary after the reconstruction `Exit`.
+pub fn hot_checkpoint(store: &CheckpointStore, cp: &Checkpoint) {
+    louvain_trace::emit_with(|| Event::Enter {
+        phase: "refine",
+        clock: 0.0,
+    });
+    let _bytes = store.save_slot(cp);
+    louvain_trace::emit_with(|| Event::Exit {
+        phase: "refine",
+        clock: 0.0,
+    });
+}

@@ -125,6 +125,11 @@ fn a1_fixture_fires() {
     assert_only_rule("a1.rs", Rule::A1);
 }
 
+#[test]
+fn x1_fixture_fires() {
+    assert_only_rule("x1.rs", Rule::X1);
+}
+
 /// Parser edge cases — replicated `match` dispatch with per-arm
 /// collectives, a labeled `break 'outer` under an open exchange phase,
 /// and allocations confined to `emit_with` tracing closures — must not
@@ -239,6 +244,7 @@ fn cli_exits_nonzero_on_fixture_directory() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     for rule in [
         "D1", "F1", "F2", "U1", "P1", "C1", "SUP", "R1", "R2", "R3", "R4", "R5", "T1", "M1", "A1",
+        "X1",
     ] {
         assert!(stdout.contains(rule), "CLI report misses rule {rule}");
     }

@@ -165,30 +165,53 @@ fn mutated_specs_reject_the_observed_sequence() {
         "control: base spec accepts"
     );
 
-    let first_op = base
-        .protocol
-        .iter()
-        .position(|n| matches!(n, SpecNode::Op(_)))
-        .expect("spec has at least one top-level op");
+    // Mutate inside the outer loop's `reconstruct` call: its ops are
+    // mandatory and run once per level, so every mutation is
+    // detectable. The remaining *top-level* ops are not usable probes —
+    // the trailing level-boundary `SimSync` is structurally ambiguous
+    // with the loop's optional boundary sync, and `Shutdown` is
+    // re-appended unconditionally by the NFA builder.
+    fn reconstruct_body(spec: &mut ProtocolSpec) -> &mut Vec<SpecNode> {
+        spec.protocol
+            .iter_mut()
+            .find_map(|n| match n {
+                SpecNode::Loop(body) => body.iter_mut().find_map(|m| match m {
+                    SpecNode::Call { name, body } if name == "reconstruct" => Some(body),
+                    _ => None,
+                }),
+                _ => None,
+            })
+            .expect("spec has a reconstruct call inside the outer loop")
+    }
 
     let mut inserted = base.clone();
-    inserted
-        .protocol
-        .insert(first_op, SpecNode::Op("Barrier".into()));
+    reconstruct_body(&mut inserted).insert(0, SpecNode::Op("Barrier".into()));
     assert!(
         !Nfa::from_spec(&inserted).accepts(&w),
         "spec with an extra Barrier still accepts the observed sequence"
     );
 
     let mut removed = base.clone();
-    removed.protocol.remove(first_op);
+    removed.protocol.remove(
+        base.protocol
+            .iter()
+            .position(|n| matches!(n, SpecNode::Loop(_)))
+            .expect("spec has the outer level loop"),
+    );
     assert!(
         !Nfa::from_spec(&removed).accepts(&w),
+        "spec missing the level loop still accepts the observed sequence"
+    );
+
+    let mut trimmed = base.clone();
+    reconstruct_body(&mut trimmed).remove(0);
+    assert!(
+        !Nfa::from_spec(&trimmed).accepts(&w),
         "spec missing an op still accepts the observed sequence"
     );
 
     let mut swapped = base.clone();
-    swapped.protocol[first_op] = SpecNode::Op("Barrier".into());
+    reconstruct_body(&mut swapped)[0] = SpecNode::Op("Barrier".into());
     assert!(
         !Nfa::from_spec(&swapped).accepts(&w),
         "spec with a substituted op still accepts the observed sequence"

@@ -1,77 +1,135 @@
 #!/usr/bin/env bash
-# Local gate: formatting, clippy, the louvain-lint pass, and tests.
-# Mirrors `cargo run -p xtask -- check`; kept as a shell script so it can
-# run without a prior build of xtask deciding the tool order.
+# Local gate: formatting, clippy, the louvain-lint pass, lockfile
+# freshness, docs, tests, and the race/chaos harnesses. Mirrors
+# `cargo run -p xtask -- check`; kept as a shell script so it can run
+# without a prior build of xtask deciding the tool order.
 #
-#   scripts/check.sh          full gate: PR subset + 8-rank race harness
-#                             + full perturb-seed sweep + bench drift
-#                             (what CI runs nightly)
-#   scripts/check.sh --quick  PR-gate subset only (what CI runs per PR)
+#   scripts/check.sh               full gate: quick steps + 8-rank race
+#                                  harness + full chaos seed matrix +
+#                                  bench drift (what CI runs nightly)
+#   scripts/check.sh --quick       PR-gate steps only (what CI runs per PR)
+#   scripts/check.sh --step NAME   one named step; CI's per-PR jobs run
+#                                  these so every gate reports
+#                                  independently instead of dying at the
+#                                  first failed command
+#
+# Steps (in quick-gate order): fmt clippy lint protocol cost docs tests
+# race chaos. Full-gate extras: race8 chaos-full bench-drift.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-quick=0
-for arg in "$@"; do
-  case "$arg" in
-    --quick) quick=1 ;;
-    *) echo "usage: $0 [--quick]" >&2; exit 2 ;;
+# Fail fast on a stale committed lockfile, naming the one-command
+# regeneration so nobody has to reverse-engineer it from the diff.
+stale() { # <committed file> <regeneration command>
+  echo >&2
+  echo "error: $1 is stale (committed copy no longer matches a fresh run)." >&2
+  echo "Regenerate it and commit the diff:" >&2
+  echo "    $2" >&2
+  exit 1
+}
+
+run_step() {
+  echo "==> step: $1"
+  case "$1" in
+    fmt)
+      cargo fmt --all --check
+      ;;
+    clippy)
+      cargo clippy --workspace --all-targets -- -D warnings
+      ;;
+    lint)
+      cargo run -q -p xtask -- lint
+      # The committed baseline is a lockfile too: a schema bump or a new
+      # rule that changes the report shape must be committed with it.
+      cargo run -q -p xtask -- lint --json | diff -u results/lint_baseline.json - \
+        || stale results/lint_baseline.json "cargo run -p xtask -- lint --update-baseline"
+      ;;
+    protocol)
+      # Protocol-spec lockfile: the statically extracted collective
+      # skeleton must byte-match results/protocol_spec.json (DESIGN.md §11).
+      cargo run -q -p xtask -- protocol --check \
+        || stale results/protocol_spec.json "cargo run -p xtask -- protocol --update"
+      ;;
+    cost)
+      # Cost-spec lockfile: the statically extracted per-site payload
+      # bounds and multiplicities must byte-match results/cost_spec.json
+      # (DESIGN.md §12). Volume regressions fail the PR, not the nightly.
+      cargo run -q -p xtask -- cost --check \
+        || stale results/cost_spec.json "cargo run -p xtask -- cost --update"
+      ;;
+    docs)
+      # Documentation gate: every pub item documented, doc warnings are
+      # errors. In the quick gate so doc rot fails the PR, not the nightly.
+      RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+      ;;
+    tests)
+      cargo build --examples
+      cargo test --workspace -q
+      cargo test --workspace --doc -q
+      ;;
+    race)
+      # Schedule-perturbation race harness: bit-identical output under
+      # permuted message-delivery orders (2/4 ranks in the PR gate).
+      cargo test -q -p louvain-runtime --test schedule_perturbation
+      ;;
+    chaos)
+      # Chaos gate: crash a rank at every level boundary and require the
+      # recovered run to be bit-identical to the fault-free one
+      # (2/4 ranks x 4 perturb seeds; DESIGN.md §14). Failing cases are
+      # written under target/tmp/chaos/ for `louvain-bench --fault-plan`.
+      cargo test -q -p louvain-core --test chaos_recovery
+      ;;
+    race8)
+      echo "==> schedule-perturbation harness (8 ranks, full seed sweep)"
+      LOUVAIN_RACE_EIGHT_RANKS=1 cargo test -q -p louvain-runtime --test schedule_perturbation
+      ;;
+    chaos-full)
+      echo "==> chaos harness (8 ranks, full perturb-seed matrix)"
+      LOUVAIN_RACE_EIGHT_RANKS=1 LOUVAIN_CHAOS_ALL_SEEDS=1 \
+        cargo test -q -p louvain-core --test chaos_recovery
+      ;;
+    bench-drift)
+      # Bench drift: the committed snapshot must match a fresh
+      # regeneration byte for byte, so perf/comm-volume changes are
+      # always deliberate.
+      cargo run -q --release -p louvain-bench -- bench-snapshot --quick
+      git diff --exit-code BENCH_louvain.json \
+        || stale BENCH_louvain.json "cargo run --release -p louvain-bench -- bench-snapshot --quick"
+      ;;
+    *)
+      echo "unknown step: $1" >&2
+      exit 2
+      ;;
   esac
+}
+
+QUICK_STEPS=(fmt clippy lint protocol cost docs tests race chaos)
+FULL_EXTRAS=(race8 chaos-full bench-drift)
+
+quick=0
+steps=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) quick=1 ;;
+    --step)
+      shift
+      [ $# -gt 0 ] || { echo "--step needs a name" >&2; exit 2; }
+      steps+=("$1")
+      ;;
+    *) echo "usage: $0 [--quick] [--step NAME]..." >&2; exit 2 ;;
+  esac
+  shift
 done
 
-echo "==> cargo fmt --all --check"
-cargo fmt --all --check
-
-echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
-
-echo "==> cargo run -q -p xtask -- lint"
-cargo run -q -p xtask -- lint
-
-# Protocol-spec lockfile: the statically extracted collective skeleton
-# must byte-match results/protocol_spec.json (DESIGN.md §11).
-echo "==> cargo run -q -p xtask -- protocol --check"
-cargo run -q -p xtask -- protocol --check
-
-# Cost-spec lockfile: the statically extracted per-site payload bounds
-# and multiplicities must byte-match results/cost_spec.json (DESIGN.md
-# §12). Runs in the quick gate too — volume regressions should fail the
-# PR, not the nightly.
-echo "==> cargo run -q -p xtask -- cost --check"
-cargo run -q -p xtask -- cost --check
-
-echo "==> cargo build --examples"
-cargo build --examples
-
-echo "==> cargo test -q (workspace)"
-cargo test --workspace -q
-
-echo "==> cargo test --doc (workspace)"
-cargo test --workspace --doc -q
-
-# Schedule-perturbation race harness: the parallel solver must produce
-# bit-identical output under permuted message-delivery orders (2 and 4
-# ranks in the PR gate; the full gate adds 8 ranks).
-echo "==> schedule-perturbation harness (2/4 ranks)"
-cargo test -q -p louvain-runtime --test schedule_perturbation
-
-if [ "$quick" -eq 1 ]; then
-  echo "==> quick gate passed (full gate adds 8-rank harness + bench drift)"
+if [ "${#steps[@]}" -gt 0 ]; then
+  for s in "${steps[@]}"; do run_step "$s"; done
   exit 0
 fi
 
-# Documentation gate: every pub item documented, every doc example
-# compiles and runs. The quick gate skips it (CI runs it in a dedicated
-# `docs` job; `cargo run -p xtask -- check --docs` is the local analog).
-echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
-RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
-
-echo "==> schedule-perturbation harness (8 ranks, full seed sweep)"
-LOUVAIN_RACE_EIGHT_RANKS=1 cargo test -q -p louvain-runtime --test schedule_perturbation
-
-# Bench drift: the committed snapshot must match a fresh regeneration
-# byte for byte, so perf/comm-volume changes are always deliberate.
-echo "==> bench drift (BENCH_louvain.json)"
-cargo run -q --release -p louvain-bench -- bench-snapshot --quick
-git diff --exit-code BENCH_louvain.json
-
+for s in "${QUICK_STEPS[@]}"; do run_step "$s"; done
+if [ "$quick" -eq 1 ]; then
+  echo "==> quick gate passed (full gate adds: ${FULL_EXTRAS[*]})"
+  exit 0
+fi
+for s in "${FULL_EXTRAS[@]}"; do run_step "$s"; done
 echo "==> all checks passed"
