@@ -9,6 +9,7 @@ use louvain_bench::experiments as exp;
 use std::time::Instant;
 
 const USAGE: &str = "usage: louvain-bench <experiment> [--quick]
+       louvain-bench bench-snapshot --check [--quick]   verify BENCH_louvain.json is current
        louvain-bench --fault-plan <file>   replay a chaos CI artifact
 experiments:
   table1           graph inventory (Table I)
@@ -40,11 +41,19 @@ fn main() {
         std::process::exit(i32::from(!ok));
     }
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let check = args.iter().any(|a| a == "--check");
     let which = args.iter().find(|a| !a.starts_with('-')).cloned();
     let Some(which) = which else {
         eprintln!("{USAGE}");
         std::process::exit(2);
     };
+    if check {
+        if which != "bench-snapshot" {
+            eprintln!("--check only applies to bench-snapshot\n{USAGE}");
+            std::process::exit(2);
+        }
+        std::process::exit(i32::from(!louvain_bench::snapshot::check(quick)));
+    }
 
     let t0 = Instant::now();
     let run_one = |name: &str| {

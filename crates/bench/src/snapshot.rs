@@ -18,6 +18,9 @@
 use crate::experiments::{run_par, workload};
 use crate::{NS_PER_UNIT, SEED};
 use louvain_core::parallel::{ParallelConfig, ParallelLouvain, ParallelResult};
+use louvain_core::timing::SimBreakdown;
+use louvain_graph::gen::rmat::{generate_rmat, RmatConfig};
+use louvain_graph::PartitionStrategy;
 use louvain_hash::{pack_key, EdgeTable};
 use louvain_runtime::FaultPlan;
 
@@ -55,7 +58,15 @@ pub use louvain_core::json::Json;
 /// Workload entries are unchanged, so v3 consumers of `workloads` keep
 /// working; the version still bumps because the document grew a
 /// measured section whose absence v4 consumers must detect.
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5: pluggable partitioning (DESIGN.md §15). Each workload entry gains
+/// the per-rank skew series — `arc_loads` (In-Table rows each rank held,
+/// summed over levels), `imbalance` (max/mean of `arc_loads`), and
+/// `work_units_per_rank` (each rank's *own* charged work per phase,
+/// unlike `phase_units` which is the max-over-ranks simulated clock) —
+/// and the document gains a top-level `partition` section comparing the
+/// modulo and arc-balanced strategies on a skewed unpermuted R-MAT.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Output path, relative to the working directory (the workspace root
 /// under `cargo run`).
@@ -183,7 +194,102 @@ fn workload_entry(name: &str, vertices: usize, r: &ParallelResult) -> Json {
                     .collect(),
             ),
         ),
+        // Partition-skew observables (schema v5, DESIGN.md §15): the
+        // per-rank series expose the imbalance the max-over-ranks
+        // clock can only hint at.
+        ("imbalance".into(), Json::Num(r.imbalance)),
+        (
+            "arc_loads".into(),
+            Json::Arr(r.arc_loads.iter().map(|&x| Json::UInt(x)).collect()),
+        ),
+        (
+            "work_units_per_rank".into(),
+            Json::Arr(
+                r.per_rank_work_breakdown
+                    .iter()
+                    .map(breakdown_entry)
+                    .collect(),
+            ),
+        ),
         ("trace_events".into(), Json::UInt(trace_events)),
+    ])
+}
+
+fn breakdown_entry(b: &SimBreakdown) -> Json {
+    Json::Obj(vec![
+        ("loading".into(), Json::Num(b.loading)),
+        ("state_propagation".into(), Json::Num(b.state_propagation)),
+        ("find_best".into(), Json::Num(b.find_best)),
+        ("update".into(), Json::Num(b.update)),
+        ("modularity".into(), Json::Num(b.modularity)),
+        ("reconstruction".into(), Json::Num(b.reconstruction)),
+        ("total".into(), Json::Num(b.total())),
+    ])
+}
+
+/// Ranks for the partition-comparison section: more ranks than the main
+/// workloads so hub concentration shows up as skew.
+const PARTITION_RANKS: usize = 8;
+
+/// The skewed workload behind the v5 `partition` section: an unpermuted
+/// R-MAT (hubs concentrated at low vertex ids by the recursive
+/// construction) whose quadrant bias is turned up from the Graph500
+/// reference. See EXPERIMENTS.md for the walkthrough.
+#[must_use]
+pub fn skewed_rmat() -> louvain_graph::EdgeList {
+    generate_rmat(
+        &RmatConfig {
+            scale: 10,
+            edge_factor: 8,
+            a: 0.7,
+            b: 0.12,
+            c: 0.12,
+            permute: false,
+            clean: true,
+        },
+        SEED,
+    )
+}
+
+/// The modulo vs arc-balanced comparison behind the v5 `partition`
+/// section (DESIGN.md §15): one skewed R-MAT, both strategies, same
+/// seed and rank count. Both runs are deterministic, so the section is
+/// bit-stable like the rest of the snapshot.
+fn partition_entry() -> Json {
+    let edges = skewed_rmat();
+    let run = |strategy: PartitionStrategy| {
+        ParallelLouvain::new(ParallelConfig {
+            partition: strategy,
+            ..ParallelConfig::with_ranks(PARTITION_RANKS)
+        })
+        .run(&edges)
+    };
+    let modulo = run(PartitionStrategy::Modulo);
+    let balanced = run(PartitionStrategy::ArcBalanced);
+    let arc_loads =
+        |r: &ParallelResult| Json::Arr(r.arc_loads.iter().map(|&x| Json::UInt(x)).collect());
+    Json::Obj(vec![
+        (
+            "workload".into(),
+            Json::Str("rmat scale=10 ef=8 a=0.7 unpermuted".to_string()),
+        ),
+        ("ranks".into(), Json::UInt(PARTITION_RANKS as u64)),
+        ("modulo_imbalance".into(), Json::Num(modulo.imbalance)),
+        ("modulo_arc_loads".into(), arc_loads(&modulo)),
+        (
+            "modulo_modularity".into(),
+            Json::Num(modulo.result.final_modularity),
+        ),
+        ("balanced_imbalance".into(), Json::Num(balanced.imbalance)),
+        ("balanced_arc_loads".into(), arc_loads(&balanced)),
+        (
+            "balanced_modularity".into(),
+            Json::Num(balanced.result.final_modularity),
+        ),
+        (
+            "imbalance_reduction".into(),
+            Json::Num(modulo.imbalance / balanced.imbalance),
+        ),
     ])
 }
 
@@ -263,7 +369,93 @@ pub fn build(quick: bool) -> Json {
         ("workloads".into(), Json::Arr(entries)),
         ("hash_table".into(), hash_microbench(100_000)),
         ("chaos".into(), chaos_entry()),
+        ("partition".into(), partition_entry()),
     ])
+}
+
+/// `bench-snapshot --check`: regenerates the document in memory and
+/// compares it byte-for-byte against the committed [`SNAPSHOT_PATH`],
+/// without writing anything. Returns `true` when the snapshot is
+/// current.
+///
+/// The committed file's `quick` and `schema_version` stamps are vetted
+/// **before** diffing: comparing a `--quick` regeneration against a full
+/// snapshot (or a snapshot from another schema) would report every
+/// workload as drifted, burying the actual problem — the gate used to do
+/// exactly that via a bare `git diff`. Each mismatch fails fast with a
+/// named error instead.
+#[must_use]
+pub fn check(quick: bool) -> bool {
+    let committed = match std::fs::read_to_string(SNAPSHOT_PATH) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("snapshot-check: cannot read {SNAPSHOT_PATH}: {e}");
+            return false;
+        }
+    };
+    let doc = match Json::parse(&committed) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("snapshot-check: {SNAPSHOT_PATH} is not valid JSON: {e}");
+            return false;
+        }
+    };
+    match doc.get("schema_version").and_then(Json::as_u64) {
+        Some(SCHEMA_VERSION) => {}
+        Some(found) => {
+            eprintln!(
+                "snapshot-check: schema mismatch: {SNAPSHOT_PATH} is v{found}, this build \
+                 writes v{SCHEMA_VERSION} — regenerate with `louvain-bench bench-snapshot{}`",
+                if quick { " --quick" } else { "" }
+            );
+            return false;
+        }
+        None => {
+            eprintln!("snapshot-check: {SNAPSHOT_PATH} has no schema_version stamp");
+            return false;
+        }
+    }
+    let committed_quick = match doc.get("quick") {
+        Some(&Json::Bool(b)) => b,
+        _ => {
+            eprintln!("snapshot-check: {SNAPSHOT_PATH} has no boolean `quick` stamp");
+            return false;
+        }
+    };
+    if committed_quick != quick {
+        let (committed_mode, requested_mode) = if committed_quick {
+            ("--quick", "full")
+        } else {
+            ("full", "--quick")
+        };
+        eprintln!(
+            "snapshot-check: mode mismatch: {SNAPSHOT_PATH} was generated in {committed_mode} \
+             mode but the check ran in {requested_mode} mode — the byte comparison would be \
+             meaningless; rerun the check in {committed_mode} mode or regenerate the snapshot"
+        );
+        return false;
+    }
+    let fresh = build(quick).render();
+    if fresh == committed {
+        println!(
+            "snapshot-check: {SNAPSHOT_PATH} is current ({} bytes, schema v{SCHEMA_VERSION})",
+            committed.len()
+        );
+        true
+    } else {
+        let at = fresh
+            .bytes()
+            .zip(committed.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| fresh.len().min(committed.len()));
+        eprintln!(
+            "snapshot-check: {SNAPSHOT_PATH} drifted from a fresh regeneration (first \
+             difference at byte {at}) — regenerate with `louvain-bench bench-snapshot{}` \
+             and commit the result",
+            if quick { " --quick" } else { "" }
+        );
+        false
+    }
 }
 
 /// Runs the `bench-snapshot` experiment: builds the document, writes it

@@ -26,8 +26,10 @@ use std::sync::Mutex;
 
 /// Version stamp of the checkpoint JSON layout. A mismatch is a
 /// [`CheckpointError::Schema`] — a checkpoint from another build is
-/// refused, not reinterpreted.
-pub const CHECKPOINT_SCHEMA: u64 = 1;
+/// refused, not reinterpreted. v2 added the partition record
+/// (`part_kind`/`part_owners`) and the level-0 vertex domain
+/// (`orig_vertices`) for the pluggable-partition work (DESIGN.md §15).
+pub const CHECKPOINT_SCHEMA: u64 = 2;
 
 /// Why a checkpoint was refused.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -159,6 +161,18 @@ pub struct Checkpoint {
     pub size: Vec<u32>,
     /// Current community of each originally-local vertex.
     pub orig_comm: Vec<u32>,
+    /// The originally-local vertices themselves (level-0 ids) — the
+    /// domain `orig_comm` is indexed by. Under the modulo partition this
+    /// is derivable from `(rank, ranks, n)`; under a balanced partition
+    /// it is genuine state and must travel with the snapshot.
+    pub orig_vertices: Vec<u32>,
+    /// Partition strategy tag of the resumed level (`"modulo"` or
+    /// `"arc_balanced"`), restored without communication.
+    pub part_kind: String,
+    /// Dense owner vector of the resumed level's partition — one rank id
+    /// per global vertex. Empty for `"modulo"`, whose ownership is pure
+    /// arithmetic.
+    pub part_owners: Vec<u32>,
     /// Completed level summaries (the dendrogram prefix's metadata).
     pub levels: Vec<LevelSnapshot>,
     /// Per-completed-level labels of originally-local vertices (the
@@ -197,6 +211,13 @@ fn ck_u32s(obj: &Json, key: &'static str) -> Result<Vec<u32>, CheckpointError> {
         .into_iter()
         .map(|u| u32::try_from(u).map_err(|_| CheckpointError::Corrupt(key)))
         .collect()
+}
+
+fn ck_str(obj: &Json, key: &'static str) -> Result<String, CheckpointError> {
+    ck_field(obj, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or(CheckpointError::Missing(key))
 }
 
 fn ck_strs(obj: &Json, key: &'static str) -> Result<Vec<String>, CheckpointError> {
@@ -249,6 +270,9 @@ impl Checkpoint {
             ("internal_bits".into(), uints(&self.internal_bits)),
             ("size".into(), uints32(&self.size)),
             ("orig_comm".into(), uints32(&self.orig_comm)),
+            ("orig_vertices".into(), uints32(&self.orig_vertices)),
+            ("part_kind".into(), Json::Str(self.part_kind.clone())),
+            ("part_owners".into(), uints32(&self.part_owners)),
             (
                 "levels".into(),
                 Json::Arr(
@@ -364,6 +388,9 @@ impl Checkpoint {
             internal_bits: ck_u64s(doc, "internal_bits")?,
             size: ck_u32s(doc, "size")?,
             orig_comm: ck_u32s(doc, "orig_comm")?,
+            orig_vertices: ck_u32s(doc, "orig_vertices")?,
+            part_kind: ck_str(doc, "part_kind")?,
+            part_owners: ck_u32s(doc, "part_owners")?,
             levels,
             level_orig_comms,
             frontier: FrontierStats {
@@ -410,6 +437,28 @@ impl Checkpoint {
         .any(|&l| l != local_n)
         {
             return Err(CheckpointError::Corrupt("per-vertex array length skew"));
+        }
+        if self.orig_vertices.len() != self.orig_comm.len() {
+            return Err(CheckpointError::Corrupt(
+                "orig_vertices/orig_comm length skew",
+            ));
+        }
+        match self.part_kind.as_str() {
+            "modulo" => {
+                if !self.part_owners.is_empty() {
+                    return Err(CheckpointError::Corrupt(
+                        "modulo partition carries an owner vector",
+                    ));
+                }
+            }
+            "arc_balanced" => {
+                if self.part_owners.len() as u64 != self.n {
+                    return Err(CheckpointError::Corrupt(
+                        "balanced partition owner vector length skew",
+                    ));
+                }
+            }
+            _ => return Err(CheckpointError::Corrupt("unknown partition kind")),
         }
         if self.levels.len() != self.level_orig_comms.len() {
             return Err(CheckpointError::Corrupt(
@@ -652,6 +701,9 @@ mod tests {
             internal_bits: vec![0u64, 0.3f64.to_bits()],
             size: vec![3, 1],
             orig_comm: vec![1, 5, 9],
+            orig_vertices: vec![1, 5, 9],
+            part_kind: "modulo".into(),
+            part_owners: vec![],
             levels: vec![
                 LevelSnapshot {
                     num_vertices: 10,
@@ -743,6 +795,35 @@ mod tests {
             Checkpoint::from_json(&cp.to_json()),
             Err(CheckpointError::Corrupt("in_keys not strictly sorted"))
         );
+
+        // A balanced partition must carry one owner per global vertex.
+        let mut cp = sample_checkpoint();
+        cp.part_kind = "arc_balanced".into();
+        cp.part_owners = vec![0, 1];
+        assert_eq!(
+            Checkpoint::from_json(&cp.to_json()),
+            Err(CheckpointError::Corrupt(
+                "balanced partition owner vector length skew"
+            ))
+        );
+
+        // A partition kind this build doesn't know is refused, not
+        // defaulted.
+        let mut cp = sample_checkpoint();
+        cp.part_kind = "hash".into();
+        assert_eq!(
+            Checkpoint::from_json(&cp.to_json()),
+            Err(CheckpointError::Corrupt("unknown partition kind"))
+        );
+    }
+
+    #[test]
+    fn balanced_partition_checkpoint_round_trips() {
+        let mut cp = sample_checkpoint();
+        cp.part_kind = "arc_balanced".into();
+        cp.part_owners = vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1]; // n = 10
+        let back = Checkpoint::parse(&cp.to_json().render()).expect("restore");
+        assert_eq!(back, cp);
     }
 
     #[test]

@@ -77,6 +77,9 @@ use crate::timing::{
     CommBreakdown, InnerIterationTiming, Phase, PhaseTimers, SimBreakdown, Stopwatch,
 };
 use louvain_graph::edgelist::EdgeList;
+use louvain_graph::partition::{
+    load_imbalance, AnyPartition, BalancedPartition, PartitionStrategy,
+};
 use louvain_graph::partition1d::ModuloPartition;
 use louvain_hash::{pack_key, unpack_key, EdgeTable};
 use louvain_metrics::Partition;
@@ -204,6 +207,21 @@ pub struct ParallelConfig {
     /// counts the restarts. `None` (the default) takes exactly the
     /// fault-free code path.
     pub fault_plan: Option<FaultPlan>,
+    /// Vertex-ownership strategy (DESIGN.md §15). The default
+    /// [`PartitionStrategy::Modulo`] is the paper's 1D modulo
+    /// decomposition and adds **zero** collectives — results are
+    /// bit-identical to a build without the pluggable-partition layer.
+    /// [`PartitionStrategy::ArcBalanced`] equalizes per-rank arc load
+    /// with a greedy LPT assignment built from one allreduced load
+    /// vector, and repartitions the coarsened super-graph by
+    /// super-vertex arc weight at every level boundary (the
+    /// repartitioning rides the reconstruction all-to-all — no extra
+    /// data exchange). Either strategy is fully deterministic
+    /// (bit-identical across runs and perturb seeds), but the two may
+    /// legitimately disagree with each other: the UPDATE sweep's
+    /// Gauss-Seidel move ordering follows ownership, so a different
+    /// partition is a different (equally valid) sequentialization.
+    pub partition: PartitionStrategy,
 }
 
 impl Default for ParallelConfig {
@@ -228,6 +246,7 @@ impl Default for ParallelConfig {
             full_rescan: false,
             checkpoint_every_level: 0,
             fault_plan: None,
+            partition: PartitionStrategy::default(),
         }
     }
 }
@@ -326,6 +345,24 @@ pub struct ParallelResult {
     /// Fault-injection counters summed over every attempt (all zero
     /// without a fault plan).
     pub faults: FaultStats,
+    /// Per-rank per-phase **charged work** in simulated units, in rank
+    /// order (DESIGN.md §15). Unlike [`ParallelResult::sim_breakdown`]
+    /// — which is the globally synchronized clock, identical on every
+    /// rank because each superstep advances by the max over ranks —
+    /// these are each rank's *own* charges, so per-phase load skew is
+    /// directly readable: `max_r(work[r].find_best)` is the straggler
+    /// term the arc-balanced partition exists to shrink.
+    pub per_rank_work_breakdown: Vec<SimBreakdown>,
+    /// Per-rank arc load, in rank order: local In-Table entries summed
+    /// over the levels each rank processed. This is the find-best scan
+    /// and state-propagation volume a rank owns, i.e. the quantity the
+    /// partition strategy balances.
+    pub arc_loads: Vec<u64>,
+    /// Max-over-mean skew of [`ParallelResult::arc_loads`]: `1.0` is
+    /// perfectly balanced, `ranks` is everything-on-one-rank. The BSP
+    /// clock advances by per-superstep maxima, so this ratio is a
+    /// direct proxy for simulated time lost to partition skew.
+    pub imbalance: f64,
 }
 
 impl ParallelResult {
@@ -386,7 +423,7 @@ pub struct ParallelLouvain {
 struct RankLevel {
     /// Global vertices at this level.
     n: usize,
-    part: ModuloPartition,
+    part: AnyPartition,
     /// In-edges of local vertices, keyed `(src, dst)`.
     in_table: EdgeTable,
     /// Weighted degree `k_u` per local vertex.
@@ -463,7 +500,7 @@ impl RemoteCache {
     /// begins with singleton communities `c = v` — known without
     /// communication.
     fn build(lvl: &RankLevel, rank: usize) -> Self {
-        let part = lvl.part;
+        let part = &lvl.part;
         let mut triples: Vec<(u32, u32, f64)> = Vec::with_capacity(lvl.in_table.len());
         for (key, w) in lvl.in_table.iter() {
             let (s, d) = unpack_key(key);
@@ -612,6 +649,10 @@ impl RemoteCache {
 struct RankOutput {
     /// Final community (dense id) of each originally-local vertex.
     orig_comm: Vec<u32>,
+    /// This rank's level-0 vertices in local-index order — the domain of
+    /// [`RankOutput::orig_comm`]. Reported because the driver cannot
+    /// re-derive a balanced level-0 partition (it never sees the loads).
+    orig_vertices: Vec<u32>,
     levels: Vec<LevelInfo>,
     /// Partitions of original local vertices after each level.
     level_orig_comms: Vec<Vec<u32>>,
@@ -637,6 +678,13 @@ struct RankOutput {
     /// every rank; only levels executed by this attempt — a resumed
     /// attempt reports boundaries from its restart point on).
     level_boundary_clocks: Vec<f64>,
+    /// This rank's own per-phase charged work (DESIGN.md §15) — unlike
+    /// [`RankOutput::sim_breakdown`], not synchronized over ranks, so
+    /// per-phase skew is readable.
+    work_breakdown: SimBreakdown,
+    /// Local In-Table entries summed over the levels this attempt
+    /// processed: the per-rank arc load the partition strategy balances.
+    arc_load: u64,
     trace: Option<RankTrace>,
 }
 
@@ -745,11 +793,14 @@ impl ParallelLouvain {
         let total_time = t0.elapsed();
 
         // Assemble the global partition from per-rank original labels.
-        let part0 = ModuloPartition::new(n, cfg.ranks);
+        // Each rank reports its own level-0 vertex set (`orig_vertices`)
+        // rather than the driver re-deriving it: under the arc-balanced
+        // strategy the level-0 ownership is a function of the allreduced
+        // load vector, which only the ranks ever see.
         let assemble = |selector: &dyn Fn(&RankOutput) -> &[u32]| -> Partition {
             let mut raw = vec![0u32; n];
-            for (r, out) in rank_outputs.iter().enumerate() {
-                for (i, v) in part0.local_vertices(r).enumerate() {
+            for out in rank_outputs.iter() {
+                for (i, &v) in out.orig_vertices.iter().enumerate() {
                     raw[v as usize] = selector(out)[i];
                 }
             }
@@ -811,6 +862,14 @@ impl ParallelLouvain {
             .iter_mut()
             .filter_map(|r| r.trace.take())
             .collect();
+        // Partition-skew observability (DESIGN.md §15): per-rank arc
+        // loads and own-charge breakdowns, in rank order, plus the
+        // max/mean skew the BSP clock actually pays for.
+        let per_rank_work_breakdown: Vec<SimBreakdown> =
+            rank_outputs.iter().map(|r| r.work_breakdown).collect();
+        let arc_loads: Vec<u64> = rank_outputs.iter().map(|r| r.arc_load).collect();
+        let arc_loads_f64: Vec<f64> = arc_loads.iter().map(|&x| x as f64).collect();
+        let imbalance = load_imbalance(&arc_loads_f64);
 
         ParallelResult {
             result: LouvainResult {
@@ -841,6 +900,9 @@ impl ParallelLouvain {
             checkpoint_bytes: store.total_bytes(),
             level_boundary_clocks: rank_outputs[0].level_boundary_clocks.clone(),
             faults,
+            per_rank_work_breakdown,
+            arc_loads,
+            imbalance,
         }
     }
 }
@@ -856,6 +918,10 @@ struct LoopState {
     /// Level index the loop starts at (0 fresh, checkpointed otherwise).
     start_level: usize,
     orig_comm: Vec<u32>,
+    /// Level-0 local vertices of this rank (the domain of `orig_comm`);
+    /// persisted in checkpoints because a restore may not communicate
+    /// and a balanced level-0 partition is not re-derivable offline.
+    orig_vertices: Vec<u32>,
     levels: Vec<LevelInfo>,
     level_orig_comms: Vec<Vec<u32>>,
     q_prev_level: f64,
@@ -893,6 +959,7 @@ fn rank_main(
         s,
         start_level,
         mut orig_comm,
+        orig_vertices,
         mut levels,
         mut level_orig_comms,
         mut q_prev_level,
@@ -906,8 +973,22 @@ fn rank_main(
     let mut level_boundary_clocks: Vec<f64> = Vec::new();
     let mut checkpoints_written = 0u64;
     let mut checkpoint_bytes_written = 0u64;
+    // Per-phase own-charge breakdown (DESIGN.md §15): unlike `sim`,
+    // which reads the synchronized clock, `work` reads this rank's own
+    // charge ledger — the loading superstep's share is everything
+    // charged so far (zero on the restore path, which skips loading).
+    let mut work = SimBreakdown {
+        loading: ctx.charged_units(),
+        ..SimBreakdown::default()
+    };
+    let mut arc_load = 0u64;
+    let mut repartitions = 0u64;
 
     for level_idx in start_level..cfg.max_levels {
+        // The rank's share of this level's arcs — the quantity the
+        // partition strategy balances (the find-best scan and both
+        // propagation directions are linear in it).
+        arc_load += lvl.in_table.len() as u64;
         let level_start = Stopwatch::start();
         let record_inner = level_idx == 0;
         // The remote-state cache is an index over the In-Table, which is
@@ -934,6 +1015,7 @@ fn rank_main(
             &mut timers,
             &mut comm,
             &mut sim,
+            &mut work,
             if record_inner {
                 Some(&mut inner_timings)
             } else {
@@ -960,9 +1042,11 @@ fn rank_main(
         let recon_start = Stopwatch::start();
         let sent_before = ctx.sent_messages();
         let sim_before = ctx.sim_clock_units();
+        let work_before = ctx.charged_units();
         let (next, n_next) = reconstruct(ctx, &lvl, &out_table, &mut orig_comm, cfg);
         comm.reconstruction += ctx.sent_messages() - sent_before;
         sim.reconstruction += ctx.sim_clock_units() - sim_before;
+        work.reconstruction += ctx.charged_units() - work_before;
         timers.add(Phase::Reconstruction, recon_start.elapsed());
         louvain_trace::emit_with(|| Event::Exit {
             phase: "reconstruction",
@@ -987,6 +1071,9 @@ fn rank_main(
         let improved = q - q_prev_level > cfg.min_level_improvement;
         q_prev_level = q;
         lvl = next;
+        if matches!(lvl.part, AnyPartition::Balanced(_)) {
+            repartitions += 1;
+        }
         // Every collective above completed, so this read is identical on
         // all ranks — the aiming grid for deterministic crash injection.
         level_boundary_clocks.push(ctx.sim_clock_units());
@@ -1019,6 +1106,7 @@ fn rank_main(
                 cache_invalidations,
                 &frontier_stats,
                 &frontier_occupancy,
+                &orig_vertices,
             );
             checkpoints_written += 1;
             checkpoint_bytes_written += bytes;
@@ -1071,6 +1159,27 @@ fn rank_main(
         name: "frontier.skipped_scans",
         value: frontier_stats.skipped_scans,
     });
+    // Partitioning observables (DESIGN.md §15): this rank's share of
+    // the arc load the partition strategy balances and its level-0
+    // vertex count — both rank-local program-order tallies, so the §9
+    // trace contract holds under any partition. The repartition counter
+    // is gated on the arc-balanced strategy, mirroring the chaos gating
+    // below: the default modulo trace carries no counter for a
+    // mechanism that never ran.
+    louvain_trace::emit_with(|| Event::Count {
+        name: "partition.arc_load",
+        value: arc_load,
+    });
+    louvain_trace::emit_with(|| Event::Count {
+        name: "partition.local_vertices",
+        value: orig_comm.len() as u64,
+    });
+    if matches!(cfg.partition, PartitionStrategy::ArcBalanced) {
+        louvain_trace::emit_with(|| Event::Count {
+            name: "partition.repartitions",
+            value: repartitions,
+        });
+    }
     // Chaos observables (DESIGN.md §14), gated so a default-config run's
     // trace stays byte-identical to a build without the subsystem:
     // checkpoint counters only when a cadence is set, fault counters
@@ -1104,6 +1213,7 @@ fn rank_main(
     }
     RankOutput {
         orig_comm,
+        orig_vertices,
         levels,
         level_orig_comms,
         timers,
@@ -1120,6 +1230,8 @@ fn rank_main(
         frontier: frontier_stats,
         frontier_occupancy,
         level_boundary_clocks,
+        work_breakdown: work,
+        arc_load,
         trace: louvain_trace::take(),
     }
 }
@@ -1167,14 +1279,18 @@ fn fresh_rank_state(
     // read is identical on every rank.
     sim.loading = ctx.sim_clock_units();
     // Current community of each originally-local vertex, expressed as a
-    // vertex id of the *current* level.
+    // vertex id of the *current* level. At level 0 that is the identity:
+    // the vertex set itself, which also becomes the permanent domain
+    // (`orig_vertices`) the driver scatters final labels with.
     let orig_comm: Vec<u32> = lvl.part.local_vertices(ctx.rank()).collect();
+    let orig_vertices = orig_comm.clone();
     LoopState {
         lvl,
         input_edges,
         s,
         start_level: 0,
         orig_comm,
+        orig_vertices,
         levels: Vec::new(),
         level_orig_comms: Vec::new(),
         q_prev_level: f64::NEG_INFINITY,
@@ -1217,7 +1333,21 @@ fn take_resume_state(
         .collect();
     ctx.seed_protocol_log(&prefix);
     let n = cp.n as usize;
-    let part = ModuloPartition::new(n, cfg.ranks);
+    // Restore may not communicate, so the partition is rebuilt from the
+    // checkpoint alone: modulo from `(n, ranks)`, balanced from its
+    // persisted owner vector (DESIGN.md §15).
+    let part = match PartitionStrategy::from_tag(&cp.part_kind) {
+        Some(PartitionStrategy::Modulo) => AnyPartition::Modulo(ModuloPartition::new(n, cfg.ranks)),
+        Some(PartitionStrategy::ArcBalanced) => {
+            assert_eq!(
+                cp.part_owners.len(),
+                n,
+                "checkpoint owner vector length skew"
+            );
+            AnyPartition::Balanced(BalancedPartition::from_owners(&cp.part_owners, cfg.ranks))
+        }
+        None => panic!("checkpoint names unknown partition kind {:?}", cp.part_kind),
+    };
     let mut in_table = EdgeTable::new(cp.in_keys.len().max(8));
     for (&key, &w_bits) in cp.in_keys.iter().zip(&cp.in_w_bits) {
         in_table.accumulate(key, f64::from_bits(w_bits));
@@ -1242,6 +1372,7 @@ fn take_resume_state(
         s: f64::from_bits(cp.s_bits),
         start_level: cp.next_level,
         orig_comm: cp.orig_comm,
+        orig_vertices: cp.orig_vertices,
         levels: cp.levels.iter().map(LevelSnapshot::restore).collect(),
         level_orig_comms: cp.level_orig_comms,
         q_prev_level: f64::from_bits(cp.q_prev_level_bits),
@@ -1272,6 +1403,7 @@ fn write_level_checkpoint(
     cache_invalidations: u64,
     frontier_stats: &FrontierStats,
     frontier_occupancy: &[u64],
+    orig_vertices: &[u32],
 ) -> u64 {
     // The In-Table is persisted as its sorted (key, weight-bits)
     // multiset — layout-free, like every other fold in this module.
@@ -1298,6 +1430,12 @@ fn write_level_checkpoint(
         internal_bits: lvl.internal.iter().map(|x| x.to_bits()).collect(),
         size: lvl.size.clone(),
         orig_comm: orig_comm.to_vec(),
+        orig_vertices: orig_vertices.to_vec(),
+        // The partition must survive the restore without communication:
+        // modulo is rebuilt from `(n, ranks)`, balanced from the dense
+        // owner vector persisted here (DESIGN.md §15).
+        part_kind: lvl.part.strategy().tag().to_string(),
+        part_owners: lvl.part.owners().map(<[u32]>::to_vec).unwrap_or_default(),
         levels: levels.iter().map(LevelSnapshot::of).collect(),
         level_orig_comms: level_orig_comms.to_vec(),
         frontier: *frontier_stats,
@@ -1311,6 +1449,28 @@ fn write_level_checkpoint(
     store.save_slot(&cp)
 }
 
+/// Builds a level's vertex partition (DESIGN.md §15). The modulo arm is
+/// pure arithmetic — zero communication, so the default path's protocol
+/// is untouched. The arc-balanced arm computes the local per-vertex load
+/// counts, allreduces them (its one collective), and derives the LPT
+/// assignment — a pure function of the reduced vector, so every rank
+/// builds the identical partition.
+fn build_vertex_partition(
+    ctx: &RankCtx<'_, Msg>,
+    cfg: &ParallelConfig,
+    n: usize,
+    loads_fn: impl FnOnce() -> Vec<f64>,
+) -> AnyPartition {
+    match cfg.partition {
+        PartitionStrategy::Modulo => AnyPartition::Modulo(ModuloPartition::new(n, cfg.ranks)),
+        PartitionStrategy::ArcBalanced => {
+            let loads = loads_fn();
+            let loads = ctx.allreduce_sum_vec(&loads);
+            AnyPartition::Balanced(BalancedPartition::from_loads(&loads, cfg.ranks))
+        }
+    }
+}
+
 /// Distributes the input edge list into per-rank In-Tables (Algorithm 2,
 /// line 1) and initializes singleton communities.
 fn build_initial_level(
@@ -1320,7 +1480,19 @@ fn build_initial_level(
 ) -> RankLevel {
     let n = edges.num_vertices();
     let rank = ctx.rank();
-    let part = ModuloPartition::new(n, cfg.ranks);
+    // Replicated loading: every rank scans the same full edge list, so
+    // the reduced load vector is `ranks`× the true degree counts. LPT is
+    // invariant to uniform scaling, so the assignment is unaffected.
+    let part = build_vertex_partition(ctx, cfg, n, || {
+        let mut loads = vec![0.0f64; n];
+        for e in edges.edges() {
+            loads[e.u as usize] += 1.0;
+            if e.u != e.v {
+                loads[e.v as usize] += 1.0;
+            }
+        }
+        loads
+    });
     let local_n = part.local_count(rank);
     // Expected local arcs: 2|E|/p.
     let mut in_table = EdgeTable::new((2 * edges.num_edges() / cfg.ranks).max(8));
@@ -1372,7 +1544,18 @@ fn build_initial_level_distributed(
     cfg: &ParallelConfig,
 ) -> RankLevel {
     let rank = ctx.rank();
-    let part = ModuloPartition::new(n, cfg.ranks);
+    // Distributed loading: chunks are disjoint, so the reduced vector is
+    // the true per-vertex degree count.
+    let part = build_vertex_partition(ctx, cfg, n, || {
+        let mut loads = vec![0.0f64; n];
+        for e in chunk.edges() {
+            loads[e.u as usize] += 1.0;
+            if e.u != e.v {
+                loads[e.v as usize] += 1.0;
+            }
+        }
+        loads
+    });
     let local_n = part.local_count(rank);
     let mut in_table = EdgeTable::new((2 * chunk.num_edges()).max(8));
     {
@@ -1472,7 +1655,7 @@ fn send_full_rebuild(
     cache: &RemoteCache,
     rank: usize,
 ) {
-    let part = lvl.part;
+    let part = &lvl.part;
     let local_n = part.local_count(rank);
     for li in 0..local_n {
         let v = part.global(rank, li);
@@ -1492,7 +1675,7 @@ fn propagate_deltas(
     frontier: &mut Frontier,
     v1_state_rebuild: bool,
 ) {
-    let part = lvl.part;
+    let part = &lvl.part;
     let rank = ctx.rank();
     let mut ex = ctx.exchange();
     if v1_state_rebuild {
@@ -1655,6 +1838,7 @@ fn refine(
     timers: &mut PhaseTimers,
     comm: &mut CommBreakdown,
     sim: &mut SimBreakdown,
+    work: &mut SimBreakdown,
     mut inner_timings: Option<&mut Vec<InnerIterationTiming>>,
     frontier_stats: &mut FrontierStats,
     mut occupancy: Option<&mut Vec<u64>>,
@@ -1688,11 +1872,18 @@ fn refine(
     // Per-phase simulated-clock attribution: `sim_last` is re-read right
     // after the collective that closes each phase. The clock only moves
     // at globally ordered syncs, so every rank computes identical deltas.
+    // The same lap also attributes this rank's *own* charged work to the
+    // phase (`work`): unlike the clock it is rank-local, so its
+    // per-phase, per-rank breakdown is where partition skew shows up.
     let mut sim_last = ctx.sim_clock_units();
-    let mut sim_lap = |ctx: &RankCtx<'_, Msg>, bucket: &mut f64| {
+    let mut work_last = ctx.charged_units();
+    let mut sim_lap = |ctx: &RankCtx<'_, Msg>, bucket: &mut f64, wbucket: &mut f64| {
         let now = ctx.sim_clock_units();
         *bucket += now - sim_last;
         sim_last = now;
+        let w = ctx.charged_units();
+        *wbucket += w - work_last;
+        work_last = w;
     };
 
     // Initial propagation (Algorithm 2, line 5): built from purely local
@@ -1702,7 +1893,7 @@ fn refine(
     let t_prop0 = Stopwatch::start();
     build_out_table_local(lvl, out_table);
     ctx.charge(lvl.in_table.len() as f64 * cfg.charge_per_message);
-    sim_lap(ctx, &mut sim.state_propagation);
+    sim_lap(ctx, &mut sim.state_propagation, &mut work.state_propagation);
     let prop0 = t_prop0.elapsed();
     timers.add(Phase::StatePropagation, prop0);
     let mut migrated: Vec<(u32, u32)> = Vec::new();
@@ -1964,7 +2155,7 @@ fn refine(
         // scan itself has no collective; its compute charge is accounted
         // by the sync that follows). In naive mode there is no threshold
         // collective, so the scan charge folds into the update bucket.
-        sim_lap(ctx, &mut sim.find_best);
+        sim_lap(ctx, &mut sim.find_best, &mut work.find_best);
 
         // --- UPDATE COMMUNITY INFORMATION ---
         // Algorithm 4 lines 13–15 apply the Σ_tot changes *immediately*
@@ -1981,7 +2172,7 @@ fn refine(
         let mut local_moves = 0u64;
         migrated.clear();
         {
-            let part = lvl.part;
+            let part = &lvl.part;
             let label = &mut lvl.label;
             let k = &lvl.k;
             let in_table = &lvl.in_table;
@@ -2091,7 +2282,7 @@ fn refine(
         }
         comm.update += ctx.sent_messages() - sent_before;
         let moves = ctx.allreduce_sum_u64(local_moves);
-        sim_lap(ctx, &mut sim.update);
+        sim_lap(ctx, &mut sim.update, &mut work.update);
         timers.add(Phase::UpdateCommunity, t_upd.elapsed());
         it_timing.update = t_upd.elapsed();
         fractions.push(moves as f64 / lvl.n.max(1) as f64);
@@ -2116,7 +2307,7 @@ fn refine(
             );
         }
         comm.state_propagation += ctx.sent_messages() - sent_before;
-        sim_lap(ctx, &mut sim.state_propagation);
+        sim_lap(ctx, &mut sim.state_propagation, &mut work.state_propagation);
         timers.add(Phase::StatePropagation, t_prop.elapsed());
         it_timing.state_propagation += t_prop.elapsed();
 
@@ -2126,7 +2317,7 @@ fn refine(
             compute_modularity(ctx, lvl, out_table, s)
         });
         comm.modularity += ctx.sent_messages() - sent_before;
-        sim_lap(ctx, &mut sim.modularity);
+        sim_lap(ctx, &mut sim.modularity, &mut work.modularity);
         q_trace.push(q);
 
         if let Some(t) = inner_timings.as_deref_mut() {
@@ -2209,7 +2400,7 @@ fn compute_modularity(
 ) -> f64 {
     lvl.internal.iter_mut().for_each(|x| *x = 0.0);
     {
-        let part = lvl.part;
+        let part = &lvl.part;
         let label = &lvl.label;
         let mut ex = ctx.exchange();
         for (key, w) in out_table.iter() {
@@ -2259,7 +2450,7 @@ fn reconstruct(
 ) -> (RankLevel, usize) {
     let rank = ctx.rank();
     let p = ctx.num_ranks();
-    let part = lvl.part;
+    let part = &lvl.part;
 
     // 1. Owners learn which of their communities are non-empty.
     let mut distinct: Vec<u32> = lvl.label.clone();
@@ -2322,8 +2513,27 @@ fn reconstruct(
     }
 
     // 5. Rebuild the In-Table in new-id space: ((u, c), w) becomes
-    //    ((c'_new, c_new), w) sent to the owner of c_new.
-    let part_next = ModuloPartition::new(n_next, cfg.ranks);
+    //    ((c'_new, c_new), w) sent to the owner of c_new. Under the
+    //    arc-balanced strategy the super-graph is *repartitioned* here,
+    //    before the rows are routed — the repartition rides the
+    //    reconstruction all-to-all instead of adding a migration round
+    //    (DESIGN.md §15).
+    let part_next = build_vertex_partition(ctx, cfg, n_next, || {
+        // Arc load of super-vertex `b`: live Out-Table rows landing on
+        // it, counted before cross-rank duplicate arcs merge — an
+        // upper-bound proxy for the next In-Table's row distribution.
+        let mut loads = vec![0.0f64; n_next];
+        for (key, w) in out_table.iter() {
+            #[allow(clippy::float_cmp)]
+            // lint: allow(F1) — dead rows are structurally set to exact 0.0 by the delta patcher
+            let live = w != 0.0;
+            if live {
+                let (_, c_old) = unpack_key(key);
+                loads[map[&c_old] as usize] += 1.0;
+            }
+        }
+        loads
+    });
     let mut in_table = EdgeTable::new(out_table.len().max(8));
     {
         let label = &lvl.label;
@@ -2623,7 +2833,7 @@ mod tests {
     /// Builds a single-rank [`RankLevel`] over `edges` for white-box
     /// tests of the delta patcher.
     fn single_rank_level(n: usize, edges: &[(u32, u32, f64)]) -> RankLevel {
-        let part = ModuloPartition::new(n, 1);
+        let part = AnyPartition::Modulo(ModuloPartition::new(n, 1));
         let mut in_table = EdgeTable::new(edges.len() * 2 + 8);
         for &(u, v, w) in edges {
             in_table.accumulate(pack_key(u, v), w);

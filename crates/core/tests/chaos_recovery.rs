@@ -36,7 +36,7 @@ const PR_SEEDS: [u64; 4] = [1, 2, 3, 5];
 const ALL_SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 0xDEAD_BEEF, u64::MAX];
 
 fn perturb_seeds() -> Vec<Option<u64>> {
-    let full = std::env::var("LOUVAIN_CHAOS_ALL_SEEDS").as_deref() == Ok("1");
+    let full = louvain_runtime::env_flag("LOUVAIN_CHAOS_ALL_SEEDS");
     let seeds: &[u64] = if full { &ALL_SEEDS } else { &PR_SEEDS };
     std::iter::once(None)
         .chain(seeds.iter().copied().map(Some))
@@ -45,7 +45,7 @@ fn perturb_seeds() -> Vec<Option<u64>> {
 
 fn rank_counts() -> Vec<usize> {
     let mut counts = vec![2, 4];
-    if std::env::var("LOUVAIN_RACE_EIGHT_RANKS").as_deref() == Ok("1") {
+    if louvain_runtime::env_flag("LOUVAIN_RACE_EIGHT_RANKS") {
         counts.push(8);
     }
     counts

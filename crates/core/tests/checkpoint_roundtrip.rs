@@ -69,6 +69,9 @@ fn checkpoint_of(picks: &[usize], labels: &[u8]) -> Checkpoint {
         internal_bits: (0..n).map(|i| fold(i * 2 % (picks.len() + 1))).collect(),
         size: vec![1; n],
         orig_comm: (0..n as u32).collect(),
+        orig_vertices: (0..n as u32).collect(),
+        part_kind: "modulo".into(),
+        part_owners: vec![],
         levels: vec![LevelSnapshot {
             num_vertices: n as u64,
             num_communities: n as u64 / 2 + 1,

@@ -7,6 +7,7 @@
 //! Vertex `v` is owned by rank `v mod p`; the owning rank stores all
 //! information (edges, community state) for its vertices.
 
+use crate::partition::Partition;
 use crate::VertexId;
 
 /// Modulo-`p` ownership map over vertices `0..n`.
@@ -18,9 +19,18 @@ pub struct ModuloPartition {
 
 impl ModuloPartition {
     /// Creates a partition of `n` vertices over `p >= 1` ranks.
+    ///
+    /// Panics if `n` exceeds the [`VertexId`] id space: ids past
+    /// `u32::MAX` would silently alias under the `usize → u32` casts in
+    /// [`ModuloPartition::global`], so the overflow is rejected here, at
+    /// graph-build time.
     #[must_use]
     pub fn new(n: usize, p: usize) -> Self {
         assert!(p >= 1, "at least one rank required");
+        assert!(
+            u32::try_from(n).is_ok(),
+            "partition overflow: {n} vertices exceed the u32 vertex id space"
+        );
         Self { n, p }
     }
 
@@ -40,13 +50,17 @@ impl ModuloPartition {
     #[inline(always)]
     #[must_use]
     pub fn owner(&self, v: VertexId) -> usize {
-        (v as usize) % self.p
+        widen(v) % self.p
     }
 
     /// Number of vertices owned by `rank`.
     #[must_use]
     pub fn local_count(&self, rank: usize) -> usize {
-        debug_assert!(rank < self.p);
+        assert!(
+            rank < self.p,
+            "partition rank out of bounds: rank {rank} >= {} ranks",
+            self.p
+        );
         if self.n == 0 {
             return 0;
         }
@@ -60,7 +74,11 @@ impl ModuloPartition {
 
     /// Iterates the vertices owned by `rank` in increasing order.
     pub fn local_vertices(&self, rank: usize) -> impl Iterator<Item = VertexId> + '_ {
-        debug_assert!(rank < self.p);
+        assert!(
+            rank < self.p,
+            "partition rank out of bounds: rank {rank} >= {} ranks",
+            self.p
+        );
         (rank..self.n).step_by(self.p).map(|v| v as VertexId)
     }
 
@@ -69,14 +87,50 @@ impl ModuloPartition {
     #[inline(always)]
     #[must_use]
     pub fn local_index(&self, v: VertexId) -> usize {
-        (v as usize) / self.p
+        widen(v) / self.p
     }
 
     /// Global vertex id of local index `i` on `rank`.
     #[inline(always)]
     #[must_use]
     pub fn global(&self, rank: usize, i: usize) -> VertexId {
-        (i * self.p + rank) as VertexId
+        let g = i * self.p + rank;
+        VertexId::try_from(g)
+            .unwrap_or_else(|_| panic!("partition overflow: global id {g} exceeds u32"))
+    }
+}
+
+/// Checked `VertexId → usize` widening. Infallible on every platform with
+/// ≥ 32-bit pointers, but spelled as a conversion (not a bare `as` cast)
+/// so a 16-bit target fails loudly instead of silently aliasing vertices.
+#[inline(always)]
+fn widen(v: VertexId) -> usize {
+    usize::try_from(v).unwrap_or_else(|_| panic!("partition overflow: vertex id {v} exceeds usize"))
+}
+
+impl Partition for ModuloPartition {
+    fn num_vertices(&self) -> usize {
+        self.num_vertices()
+    }
+
+    fn num_ranks(&self) -> usize {
+        self.num_ranks()
+    }
+
+    fn owner(&self, v: VertexId) -> usize {
+        self.owner(v)
+    }
+
+    fn local_index(&self, v: VertexId) -> usize {
+        self.local_index(v)
+    }
+
+    fn global(&self, rank: usize, i: usize) -> VertexId {
+        self.global(rank, i)
+    }
+
+    fn local_count(&self, rank: usize) -> usize {
+        self.local_count(rank)
     }
 }
 
@@ -132,5 +186,32 @@ mod tests {
         assert_eq!(part.local_count(0), 5);
         let vs: Vec<u32> = part.local_vertices(0).collect();
         assert_eq!(vs, vec![0, 1, 2, 3, 4]);
+    }
+
+    /// Regression (ISSUE 10): rank bounds used to be `debug_assert!`
+    /// only, so a release-build caller with `rank >= p` silently got
+    /// another rank's vertex set. Both entry points must panic in every
+    /// build profile.
+    #[test]
+    #[should_panic(expected = "partition rank out of bounds")]
+    fn local_count_rejects_out_of_range_rank() {
+        let part = ModuloPartition::new(10, 3);
+        let _ = part.local_count(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition rank out of bounds")]
+    fn local_vertices_rejects_out_of_range_rank() {
+        let part = ModuloPartition::new(10, 3);
+        let _ = part.local_vertices(7);
+    }
+
+    /// Regression (ISSUE 10): `new` used to accept any `n` and `global`
+    /// truncated `usize → u32` silently, aliasing vertices past
+    /// `u32::MAX`. The overflow must be rejected at build time.
+    #[test]
+    #[should_panic(expected = "partition overflow")]
+    fn new_rejects_vertex_counts_past_u32() {
+        let _ = ModuloPartition::new(u32::MAX as usize + 2, 4);
     }
 }

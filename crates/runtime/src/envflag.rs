@@ -1,0 +1,69 @@
+//! Shared parsing for the repo's opt-in environment flags
+//! (`LOUVAIN_RACE_EIGHT_RANKS`, `LOUVAIN_CHAOS_ALL_SEEDS`, ...).
+//!
+//! The test suites used to compare `env::var(..) == Ok("1")` inline,
+//! which silently treated `true`, `TRUE`, or a typo like `yes` as *off*
+//! — an expensive gate the caller believed was enabled just would not
+//! run. This helper accepts the conventional spellings and rejects
+//! everything else loudly.
+
+/// Reads the boolean environment flag `name`.
+///
+/// * unset, empty, `0`, `false` (any case) → `false`
+/// * `1`, `true` (any case) → `true`
+/// * anything else → panic naming the variable and the value, so a
+///   mis-spelled opt-in fails the run instead of silently skipping the
+///   gate it was meant to enable.
+#[must_use]
+pub fn env_flag(name: &str) -> bool {
+    match std::env::var(name) {
+        Err(_) => false,
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "" | "0" | "false" => false,
+            "1" | "true" => true,
+            _ => panic!(
+                "environment flag {name} has unrecognized value {v:?} \
+                 (accepted: 1/true to enable, 0/false/unset to disable)"
+            ),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::env_flag;
+
+    // Each test uses its own variable name: the test harness runs tests
+    // concurrently in one process and the environment is global.
+
+    #[test]
+    fn unset_is_off() {
+        assert!(!env_flag("LOUVAIN_ENVFLAG_TEST_UNSET"));
+    }
+
+    #[test]
+    fn truthy_spellings_are_on() {
+        for v in ["1", "true", "TRUE", "True"] {
+            std::env::set_var("LOUVAIN_ENVFLAG_TEST_ON", v);
+            assert!(env_flag("LOUVAIN_ENVFLAG_TEST_ON"), "value {v:?}");
+        }
+        std::env::remove_var("LOUVAIN_ENVFLAG_TEST_ON");
+    }
+
+    #[test]
+    fn falsy_spellings_are_off() {
+        for v in ["", "0", "false", "FALSE"] {
+            std::env::set_var("LOUVAIN_ENVFLAG_TEST_OFF", v);
+            assert!(!env_flag("LOUVAIN_ENVFLAG_TEST_OFF"), "value {v:?}");
+        }
+        std::env::remove_var("LOUVAIN_ENVFLAG_TEST_OFF");
+    }
+
+    #[test]
+    fn garbage_is_rejected_loudly() {
+        std::env::set_var("LOUVAIN_ENVFLAG_TEST_BAD", "yes");
+        let r = std::panic::catch_unwind(|| env_flag("LOUVAIN_ENVFLAG_TEST_BAD"));
+        std::env::remove_var("LOUVAIN_ENVFLAG_TEST_BAD");
+        assert!(r.is_err(), "unrecognized value must panic");
+    }
+}

@@ -34,12 +34,14 @@
 //! hazards) while only changing absolute wall-clock time.
 
 pub mod collectives;
+pub mod envflag;
 pub mod exchange;
 pub mod fault;
 pub mod scan;
 pub mod sim;
 pub mod world;
 
+pub use envflag::env_flag;
 pub use exchange::Exchange;
 pub use fault::{CrashPoint, FaultPlan, FaultStats, RunOutcome};
 pub use world::{

@@ -41,12 +41,24 @@ impl<'w, M: Send> RankCtx<'w, M> {
     /// cost of handling one message.
     pub fn charge(&self, units: f64) {
         self.work.set(self.work.get() + units);
+        self.work_total.set(self.work_total.get() + units);
     }
 
     /// Work charged to the current (unfinished) superstep so far.
     #[must_use]
     pub fn pending_work(&self) -> f64 {
         self.work.get()
+    }
+
+    /// Total work this rank has charged over the whole run, across every
+    /// superstep. Unlike the simulated clock (which advances by the
+    /// max-over-ranks at each sync), this is the rank's *own* share — the
+    /// per-rank per-phase breakdown and the partition-imbalance stat read
+    /// their deltas from here. Rank-local and deterministic: a pure
+    /// function of the work the algorithm charged in program order.
+    #[must_use]
+    pub fn charged_units(&self) -> f64 {
+        self.work_total.get()
     }
 
     /// Advances the simulated clock by `max_rank(pending work) + latency`

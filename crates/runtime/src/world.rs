@@ -217,6 +217,11 @@ pub struct RankCtx<'w, M: Send> {
     pub(crate) sent_messages: u64,
     /// BSP work charged since the last simulated synchronization.
     pub(crate) work: Cell<f64>,
+    /// BSP work charged over the whole run (never reset by syncs) — the
+    /// per-rank side of the load-imbalance story: the simulated clock
+    /// advances by the *max* over ranks, this counter keeps each rank's
+    /// own share so skew is observable.
+    pub(crate) work_total: Cell<f64>,
     /// Exchange phases started by this rank (seeds the perturbation RNG).
     pub(crate) exchange_seq: Cell<u64>,
     /// Simulated synchronization points this rank has completed.
@@ -601,6 +606,7 @@ where
                         rx,
                         sent_messages: 0,
                         work: Cell::new(0.0),
+                        work_total: Cell::new(0.0),
                         exchange_seq: Cell::new(0),
                         syncs: Cell::new(0),
                         bytes_sent: Cell::new(0),

@@ -24,7 +24,7 @@ const SEEDS: [u64; 8] = [1, 2, 3, 5, 8, 13, 0xDEAD_BEEF, u64::MAX];
 
 fn rank_counts() -> Vec<usize> {
     let mut counts = vec![2, 4];
-    if std::env::var("LOUVAIN_RACE_EIGHT_RANKS").as_deref() == Ok("1") {
+    if louvain_runtime::env_flag("LOUVAIN_RACE_EIGHT_RANKS") {
         counts.push(8);
     }
     counts

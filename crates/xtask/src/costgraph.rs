@@ -186,10 +186,12 @@ fn seed_class(w: &str) -> Option<PayloadClass> {
         // Arc-shaped collections (In-/Out-Table rows, edge chunks).
         "in_table" | "out_table" | "chunk" | "edges" | "triples" | "pairs" | "out_srcs"
         | "arcs" => PayloadClass::OLocalArcs,
-        // Vertex-shaped collections and counts.
+        // Vertex-shaped collections and counts. `loads` is the
+        // per-vertex arc-load vector the balanced partition builder
+        // allreduces once per level boundary (DESIGN.md §15).
         "local_n" | "label" | "labels" | "labels_f64" | "owned" | "distinct" | "local" | "best"
         | "orig_comm" | "srcs" | "tot" | "size_local" | "size_snap" | "internal" | "m_u" | "k"
-        | "size" => PayloadClass::ONLocal,
+        | "size" | "loads" => PayloadClass::ONLocal,
         // Constants: rank counts, fixed histogram geometry, scalars.
         "hist" | "bins" | "histogram_bins" | "p" | "ranks" | "num_ranks" | "counts" | "offsets"
         | "dest" | "rank" => PayloadClass::O1,

@@ -90,10 +90,10 @@ run_step() {
       ;;
     bench-drift)
       # Bench drift: the committed snapshot must match a fresh
-      # regeneration byte for byte, so perf/comm-volume changes are
-      # always deliberate.
-      cargo run -q --release -p louvain-bench -- bench-snapshot --quick
-      git diff --exit-code BENCH_louvain.json \
+      # regeneration byte for byte, so perf/comm-volume/imbalance changes
+      # are always deliberate. `--check` vets the mode and schema stamps
+      # first (a named error, not a wall of diff) and never writes.
+      cargo run -q --release -p louvain-bench -- bench-snapshot --check --quick \
         || stale BENCH_louvain.json "cargo run --release -p louvain-bench -- bench-snapshot --quick"
       ;;
     *)
